@@ -1,0 +1,131 @@
+// Command figures regenerates the paper's evaluation: every figure and
+// table of §4, plus the headline slowdown band, the §4.5 loss analysis,
+// and the beyond-the-paper ablations.
+//
+//	figures                 # everything (several minutes)
+//	figures -fig 4          # one figure
+//	figures -quick          # 3-benchmark smoke subset
+//	figures -progress       # narrate runs as they complete
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"tilevm/internal/bench"
+)
+
+func main() {
+	var (
+		fig      = flag.Int("fig", 0, "figure to regenerate (4-11; 0 = all)")
+		quick    = flag.Bool("quick", false, "run a 3-benchmark subset")
+		progress = flag.Bool("progress", false, "print each run as it completes")
+		ablation = flag.Bool("ablations", false, "also run design-choice ablations")
+		whatif   = flag.Bool("whatif", false, "also run the §4.5 hardware-assist what-if analysis")
+		util     = flag.String("utilization", "", "print per-tile utilization for a benchmark (e.g. 176.gcc)")
+		multivm  = flag.Bool("multivm", false, "also run the §5 two-VM fabric-sharing experiment")
+		asJSON   = flag.Bool("json", false, "emit figures as JSON instead of text tables")
+	)
+	flag.Parse()
+
+	s := bench.NewSuite()
+	s.Quick = *quick
+	if *progress {
+		s.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+
+	type job struct {
+		n   int
+		run func() (fmt.Stringer, error)
+	}
+	jobs := []job{
+		{4, func() (fmt.Stringer, error) { return s.Figure4() }},
+		{5, func() (fmt.Stringer, error) { return s.Figure5() }},
+		{6, func() (fmt.Stringer, error) { return s.Figure6() }},
+		{7, func() (fmt.Stringer, error) { return s.Figure7() }},
+		{8, func() (fmt.Stringer, error) { return s.Figure8() }},
+		{9, func() (fmt.Stringer, error) { return s.Figure9() }},
+		{10, func() (fmt.Stringer, error) { return s.Figure10() }},
+		{11, func() (fmt.Stringer, error) { return s.Figure11() }},
+	}
+
+	ran := false
+	collected := map[string]any{}
+	for _, j := range jobs {
+		if *fig != 0 && *fig != j.n {
+			continue
+		}
+		out, err := j.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: figure %d: %v\n", j.n, err)
+			os.Exit(1)
+		}
+		if *asJSON {
+			collected[fmt.Sprintf("figure%d", j.n)] = out
+		} else {
+			fmt.Println(out.String())
+		}
+		ran = true
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(collected); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *fig == 0 {
+		head, err := s.Headline()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		fmt.Println(head)
+		loss, err := s.LossAnalysis()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		fmt.Println(loss)
+	}
+	if *ablation {
+		ab, err := s.Ablations()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		fmt.Println(ab.String())
+	}
+	if *whatif {
+		f, err := s.HardwareWhatIf()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		fmt.Println(f.String())
+	}
+	if *multivm {
+		out, err := s.MultiVM()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+	if *util != "" {
+		out, err := s.Utilization(*util)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+	if !ran && *fig != 0 {
+		fmt.Fprintf(os.Stderr, "figures: unknown figure %d\n", *fig)
+		os.Exit(2)
+	}
+}

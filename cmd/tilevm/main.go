@@ -1,0 +1,174 @@
+// Command tilevm runs an x86 guest program on the simulated Raw tiled
+// processor through the parallel dynamic binary translation engine.
+//
+// The guest is either a TVMI image file (see cmd/wlgen) or a named
+// synthetic SpecInt workload:
+//
+//	tilevm -workload 176.gcc
+//	tilevm -image prog.tvmi -slaves 9 -membanks 1
+//	tilevm -workload 181.mcf -morph -threshold 5 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"tilevm/internal/core"
+	"tilevm/internal/guest"
+	"tilevm/internal/rawisa"
+	"tilevm/internal/translate"
+	"tilevm/internal/workload"
+)
+
+func main() {
+	var (
+		imagePath = flag.String("image", "", "TVMI guest image to run")
+		wlName    = flag.String("workload", "", "named synthetic workload (e.g. 176.gcc)")
+		slaves    = flag.Int("slaves", 6, "translation slave tiles (1-9)")
+		spec      = flag.Bool("speculate", true, "speculative parallel translation")
+		l15       = flag.Int("l15", 2, "L1.5 code cache banks (0-2)")
+		membanks  = flag.Int("membanks", 4, "L2 data cache bank tiles (1 or 4)")
+		optimize  = flag.Bool("opt", true, "optimize translated blocks")
+		morph     = flag.Bool("morph", false, "dynamic virtual architecture reconfiguration")
+		threshold = flag.Int("threshold", 5, "morphing queue-length threshold")
+		maxCycles = flag.Uint64("maxcycles", 0, "simulation watchdog (0 = default)")
+		verbose   = flag.Bool("v", false, "print detailed metrics")
+		dump      = flag.String("dump", "", "disassemble the translation of the block at this guest PC (hex; 'entry' for the entry point) and exit")
+		trace     = flag.Int("trace", 0, "log the first N dispatch-loop iterations to stderr")
+	)
+	flag.Parse()
+
+	img, err := loadGuest(*imagePath, *wlName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tilevm:", err)
+		os.Exit(1)
+	}
+
+	if *dump != "" {
+		if err := dumpBlock(img, *dump, *optimize); err != nil {
+			fmt.Fprintln(os.Stderr, "tilevm:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Slaves = *slaves
+	cfg.Speculative = *spec
+	cfg.L15Banks = *l15
+	cfg.MemBanks = *membanks
+	cfg.Optimize = *optimize
+	cfg.ConservativeFlags = !*optimize
+	cfg.Morph = *morph
+	cfg.MorphThreshold = *threshold
+	if *maxCycles != 0 {
+		cfg.MaxCycles = *maxCycles
+	}
+	if *trace > 0 {
+		cfg.Trace = os.Stderr
+		cfg.TraceLimit = *trace
+	}
+
+	res, err := core.Run(img, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tilevm:", err)
+		os.Exit(1)
+	}
+	os.Stdout.WriteString(res.Stdout)
+	fmt.Printf("exit code : %d\n", res.ExitCode)
+	fmt.Printf("cycles    : %d\n", res.Cycles)
+	if *verbose {
+		m := res.M
+		fmt.Printf("dispatches        : %d\n", m.BlockDispatches)
+		fmt.Printf("host instructions : %d\n", m.HostInsts)
+		fmt.Printf("translations      : %d (%d guest insts)\n", m.Translations, m.TransGuestInsts)
+		fmt.Printf("demand misses     : %d\n", m.DemandMisses)
+		fmt.Printf("spec wasted       : %d\n", m.SpecWasted)
+		fmt.Printf("L1 code           : %d lookups, %.3f hit, %d flushes, %d chains\n",
+			m.L1CLookups, float64(m.L1CHits)/float64(max(m.L1CLookups, 1)), m.L1CFlushes, m.Chains)
+		fmt.Printf("L1.5 code         : %d lookups, %.3f hit\n", m.L15Lookups, m.L15HitRate())
+		fmt.Printf("L2 code           : %d accesses (%.2e/cycle), %.3f miss\n",
+			m.L2CAccess, m.L2CAccessesPerCycle(), m.L2CMissRate())
+		fmt.Printf("data L1           : %d accesses, %.4f miss\n", m.DL1Accesses, m.DL1MissRate())
+		fmt.Printf("L2 data banks     : %d requests, %d misses\n", m.L2DRequests, m.L2DMisses)
+		fmt.Printf("TLB misses        : %d\n", m.TLBMisses)
+		fmt.Printf("syscalls/assists  : %d/%d\n", m.Syscalls, m.Assists)
+		fmt.Printf("reconfigurations  : %d (%d lines flushed)\n", m.Reconfigs, m.MorphFlushLines)
+		fmt.Printf("SMC invalidations : %d\n", m.SMCInvalidations)
+	}
+}
+
+// dumpBlock prints the guest basic block at the given PC and its
+// translation to host code.
+func dumpBlock(img *guest.Image, at string, optimize bool) error {
+	pc := img.Entry
+	if at != "entry" {
+		v, err := strconv.ParseUint(strings.TrimPrefix(at, "0x"), 16, 32)
+		if err != nil {
+			return fmt.Errorf("bad -dump address %q: %w", at, err)
+		}
+		pc = uint32(v)
+	}
+	p := guest.Load(img)
+	insts, err := translate.DiscoverBlock(p.Mem, pc)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("guest basic block at %#x (%d instructions):\n", pc, len(insts))
+	for _, in := range insts {
+		fmt.Printf("  %08x: %s\n", in.Addr, in.String())
+	}
+	tr := translate.New(translate.Options{Optimize: optimize, ConservativeFlags: !optimize})
+	res, err := tr.TranslateFinal(p.Mem, pc)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ntranslated host code (%d instructions, %d bytes, optimize=%v):\n",
+		len(res.Code), res.CodeBytes, optimize)
+	fmt.Print(rawisa.Disassemble(res.Code))
+	fmt.Printf("\nexit kind %v, target %#x, fallthrough %#x\n",
+		res.Kind, res.Target, res.FallTarget)
+	return nil
+}
+
+func loadGuest(imagePath, wlName string) (*guest.Image, error) {
+	switch {
+	case imagePath != "" && wlName != "":
+		return nil, fmt.Errorf("use either -image or -workload, not both")
+	case imagePath != "":
+		return loadImageAuto(imagePath)
+	case wlName != "":
+		p, ok := workload.ByName(wlName)
+		if !ok {
+			return nil, fmt.Errorf("unknown workload %q (known: %v)", wlName, workload.Names())
+		}
+		return p.Build(), nil
+	default:
+		return nil, fmt.Errorf("specify -image or -workload")
+	}
+}
+
+// loadImageAuto sniffs the file format: ELF32 executable or TVMI image.
+func loadImageAuto(path string) (*guest.Image, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var magic [4]byte
+	_, err = f.Read(magic[:])
+	f.Close()
+	if err == nil && string(magic[:]) == "\x7fELF" {
+		return guest.LoadELFFile(path)
+	}
+	return guest.LoadImageFile(path)
+}
+
+func max(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

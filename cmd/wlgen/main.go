@@ -1,0 +1,92 @@
+// Command wlgen emits synthetic SpecInt workload images as TVMI files
+// for use with cmd/tilevm and cmd/x86run.
+//
+//	wlgen -list
+//	wlgen -workload 176.gcc -o gcc.tvmi
+//	wlgen -all -dir ./images
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tilevm/internal/guest"
+	"tilevm/internal/workload"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list available workloads")
+		name  = flag.String("workload", "", "workload to emit")
+		out   = flag.String("o", "", "output file (default <name>.tvmi)")
+		all   = flag.Bool("all", false, "emit every workload")
+		dir   = flag.String("dir", ".", "output directory for -all")
+		asELF = flag.Bool("elf", false, "emit statically linked ELF32 executables instead of TVMI images")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, p := range workload.Profiles() {
+			img := p.Build()
+			fmt.Printf("%-12s  code %6d bytes, data %7d bytes\n",
+				p.Name, len(img.Code), segBytes(img))
+		}
+	case *all:
+		for _, p := range workload.Profiles() {
+			path := filepath.Join(*dir, strings.ReplaceAll(p.Name, ".", "_")+ext(*asELF))
+			if err := save(p.Build(), path, *asELF); err != nil {
+				fatal(err)
+			}
+			fmt.Println("wrote", path)
+		}
+	case *name != "":
+		p, ok := workload.ByName(*name)
+		if !ok {
+			fatal(fmt.Errorf("unknown workload %q (known: %v)", *name, workload.Names()))
+		}
+		path := *out
+		if path == "" {
+			path = strings.ReplaceAll(p.Name, ".", "_") + ext(*asELF)
+		}
+		if err := save(p.Build(), path, *asELF); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", path)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// ext picks the output extension for the chosen format.
+func ext(elf bool) string {
+	if elf {
+		return ""
+	}
+	return ".tvmi"
+}
+
+// save writes the image in the chosen format.
+func save(img *guest.Image, path string, elf bool) error {
+	if elf {
+		return guest.SaveELF(img, path)
+	}
+	return guest.SaveImage(img, path)
+}
+
+func segBytes(img *guest.Image) int {
+	n := 0
+	for _, s := range img.Segments {
+		n += len(s.Data)
+	}
+	return n
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wlgen:", err)
+	os.Exit(1)
+}

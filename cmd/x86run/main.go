@@ -1,0 +1,73 @@
+// Command x86run executes a guest program on the reference x86
+// interpreter with the Pentium III baseline timing model — the
+// denominator of every slowdown figure.
+//
+//	x86run -workload 164.gzip
+//	x86run -image prog.tvmi
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tilevm/internal/guest"
+	"tilevm/internal/pentium"
+	"tilevm/internal/workload"
+)
+
+// loadImageAuto sniffs the file format: ELF32 executable or TVMI image.
+func loadImageAuto(path string) (*guest.Image, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var magic [4]byte
+	_, err = f.Read(magic[:])
+	f.Close()
+	if err == nil && string(magic[:]) == "\x7fELF" {
+		return guest.LoadELFFile(path)
+	}
+	return guest.LoadImageFile(path)
+}
+
+func main() {
+	var (
+		imagePath = flag.String("image", "", "TVMI guest image to run")
+		wlName    = flag.String("workload", "", "named synthetic workload")
+		maxSteps  = flag.Uint64("maxsteps", 0, "instruction budget (0 = default)")
+	)
+	flag.Parse()
+
+	var img *guest.Image
+	var err error
+	switch {
+	case *imagePath != "":
+		img, err = loadImageAuto(*imagePath)
+	case *wlName != "":
+		p, ok := workload.ByName(*wlName)
+		if !ok {
+			err = fmt.Errorf("unknown workload %q (known: %v)", *wlName, workload.Names())
+		} else {
+			img = p.Build()
+		}
+	default:
+		err = fmt.Errorf("specify -image or -workload")
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "x86run:", err)
+		os.Exit(1)
+	}
+
+	res, err := pentium.Run(img, pentium.DefaultParams(), *maxSteps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "x86run:", err)
+		os.Exit(1)
+	}
+	os.Stdout.WriteString(res.Stdout)
+	fmt.Printf("exit code    : %d\n", res.ExitCode)
+	fmt.Printf("instructions : %d\n", res.Insts)
+	fmt.Printf("P3 cycles    : %d (CPI %.2f)\n", res.Cycles, float64(res.Cycles)/float64(res.Insts))
+	fmt.Printf("memory       : %d accesses, %d L1 misses, %d L2 misses\n",
+		res.MemAccs, res.L1Misses, res.L2Misses)
+}

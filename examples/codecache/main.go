@@ -1,0 +1,42 @@
+// Codecache: the L1.5 code cache trade-off (paper Figure 4). A
+// benchmark whose translated working set dwarfs the 32KB L1 code cache
+// (255.vortex) is run with zero, one, and two L1.5 bank tiles —
+// parallel resources "that were not otherwise being productively used
+// reallocated to act as caches" — against one that fits (164.gzip).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tilevm/internal/core"
+	"tilevm/internal/pentium"
+	"tilevm/internal/workload"
+)
+
+func main() {
+	for _, wl := range []string{"164.gzip", "255.vortex"} {
+		p, ok := workload.ByName(wl)
+		if !ok {
+			log.Fatalf("unknown workload %s", wl)
+		}
+		img := p.Build()
+		base, err := pentium.Run(img, pentium.DefaultParams(), 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s (x86 code %d KB)\n", wl, len(img.Code)/1024)
+		for banks := 0; banks <= 2; banks++ {
+			cfg := core.DefaultConfig()
+			cfg.L15Banks = banks
+			res, err := core.Run(img, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %d L1.5 banks (%3d KB): %9d cycles, slowdown %5.1fx, L1.5 hit %.2f\n",
+				banks, banks*64, res.Cycles,
+				float64(res.Cycles)/float64(base.Cycles), res.M.L15HitRate())
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,3 @@
+module tilevm
+
+go 1.22

@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"testing"
+
+	"tilevm/internal/core"
+)
+
+func TestHeadlineQuick(t *testing.T) {
+	s := NewSuite()
+	s.Quick = true
+	out, err := s.Headline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(out)
+}
+
+func TestFigure11Intrinsics(t *testing.T) {
+	s := NewSuite()
+	tab, err := s.Figure11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tab.String())
+	rows := map[string]IntrinsicsRow{}
+	for _, r := range tab.Rows {
+		rows[r.Name] = r
+	}
+	l1 := rows["L1 cache hit"]
+	if l1.MeasuredLat < 4 || l1.MeasuredLat > 10 {
+		t.Errorf("L1 hit latency %f out of band (paper: 6)", l1.MeasuredLat)
+	}
+	l2 := rows["L2 cache hit"]
+	if l2.MeasuredLat < 50 || l2.MeasuredLat > 130 {
+		t.Errorf("L2 hit latency %f out of band (paper: 87)", l2.MeasuredLat)
+	}
+	miss := rows["L2 cache miss"]
+	if miss.MeasuredLat < 110 || miss.MeasuredLat > 210 {
+		t.Errorf("L2 miss latency %f out of band (paper: 151)", miss.MeasuredLat)
+	}
+	if !(l1.MeasuredLat < l2.MeasuredLat && l2.MeasuredLat < miss.MeasuredLat) {
+		t.Error("latency ordering violated")
+	}
+}
+
+func TestLossAnalysis(t *testing.T) {
+	s := NewSuite()
+	out, err := s.LossAnalysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + out)
+}
+
+// TestCalibrationSlowdowns logs all per-benchmark slowdowns under the
+// default configuration (the calibration worksheet; assertions are
+// deliberately loose — EXPERIMENTS.md records the detailed bands).
+func TestCalibrationSlowdowns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in -short mode")
+	}
+	s := NewSuite()
+	cfg := core.DefaultConfig()
+	lo, hi := 1e9, 0.0
+	for _, bench := range s.Benchmarks() {
+		sd, err := s.Slowdown(bench, "default", cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", bench, err)
+		}
+		b, _ := s.Baseline(bench)
+		r, _ := s.Run(bench, "default", cfg)
+		t.Logf("%-12s slowdown %6.1fx  (raw %10d cy, p3 %9d cy, %7d guest insts, trans %5d, l2c-acc/cyc %.2e)",
+			bench, sd, r.Cycles, b.Cycles, b.Insts, r.M.Translations, r.M.L2CAccessesPerCycle())
+		if sd < lo {
+			lo = sd
+		}
+		if sd > hi {
+			hi = sd
+		}
+	}
+	t.Logf("band: %.1fx - %.1fx (paper: ~7x-110x)", lo, hi)
+	if lo < 3 || lo > 25 {
+		t.Errorf("low end %f out of plausible band", lo)
+	}
+	if hi < 40 || hi > 250 {
+		t.Errorf("high end %f out of plausible band", hi)
+	}
+}

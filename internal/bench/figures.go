@@ -1,0 +1,242 @@
+package bench
+
+import (
+	"fmt"
+
+	"tilevm/internal/core"
+	"tilevm/internal/pentium"
+)
+
+// base returns the default configuration used as the starting point of
+// every sweep.
+func base() core.Config { return core.DefaultConfig() }
+
+// Figure4 — sensitivity to L1.5 code cache size: none, one 64KB bank,
+// two banks (128KB). Slowdown vs the Pentium III baseline.
+func (s *Suite) Figure4() (*Figure, error) {
+	configs := []namedConfig{
+		{"no L1.5", with(func(c *core.Config) { c.L15Banks = 0 })},
+		{"64KB 1 bank", with(func(c *core.Config) { c.L15Banks = 1 })},
+		{"128KB 2 banks", with(func(c *core.Config) { c.L15Banks = 2 })},
+	}
+	series, err := s.sweep(configs, slowdownMetric)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		Name:       "Figure 4",
+		Title:      "Comparison of L1.5 Code Cache Sizes",
+		Metric:     "slowdown vs Pentium III (lower is better)",
+		Benchmarks: s.Benchmarks(),
+		Series:     series,
+		Notes: "benchmarks whose translated working set exceeds the 32KB L1 " +
+			"code cache (vpr, gcc, crafty, perlbmk, gap, vortex, twolf) improve with the L1.5",
+	}, nil
+}
+
+// translatorSweep is the configuration set shared by Figures 5-7.
+func translatorSweep() []namedConfig {
+	return []namedConfig{
+		{"1 conservative", with(func(c *core.Config) { c.Slaves = 1; c.Speculative = false })},
+		{"1 speculative", with(func(c *core.Config) { c.Slaves = 1 })},
+		{"2 speculative", with(func(c *core.Config) { c.Slaves = 2 })},
+		{"4 speculative", with(func(c *core.Config) { c.Slaves = 4 })},
+		{"6 speculative", with(func(c *core.Config) { c.Slaves = 6 })},
+		{"9 speculative", with(func(c *core.Config) { c.Slaves = 9; c.MemBanks = 1 })},
+	}
+}
+
+// Figure5 — speculative parallel translation with differing numbers of
+// translation tiles. The 9-translator point trades three L2 data cache
+// tiles for translators, as in the paper.
+func (s *Suite) Figure5() (*Figure, error) {
+	series, err := s.sweep(translatorSweep(), slowdownMetric)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		Name:       "Figure 5",
+		Title:      "Comparison with Differing Numbers of Translation Tiles",
+		Metric:     "slowdown vs Pentium III (lower is better)",
+		Benchmarks: s.Benchmarks(),
+		Series:     series,
+	}, nil
+}
+
+// Figure6 — L2 code cache accesses per cycle (log-scale quantity).
+func (s *Suite) Figure6() (*Figure, error) {
+	series, err := s.sweep(translatorSweep(), func(r *core.Result, _ *pentium.Result) float64 {
+		return r.M.L2CAccessesPerCycle()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		Name:       "Figure 6",
+		Title:      "Number of L2 Code Cache Accesses per Cycle",
+		Metric:     "accesses/cycle (spans decades; see paper's log scale)",
+		Benchmarks: s.Benchmarks(),
+		Series:     series,
+		Notes:      "vpr, gcc, crafty (and vortex) show the highest rates — the congestion cases",
+	}, nil
+}
+
+// Figure7 — L2 code cache misses per L2 access.
+func (s *Suite) Figure7() (*Figure, error) {
+	series, err := s.sweep(translatorSweep(), func(r *core.Result, _ *pentium.Result) float64 {
+		return r.M.L2CMissRate()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		Name:       "Figure 7",
+		Title:      "Number of L2 Code Cache Misses per L2 Code Cache Access",
+		Metric:     "miss rate (decreases as speculative translators are added)",
+		Benchmarks: s.Benchmarks(),
+		Series:     series,
+	}, nil
+}
+
+// Figure8 — code optimization on vs off, under the dynamically
+// reconfiguring (6→9 translator) configuration, as in the paper.
+func (s *Suite) Figure8() (*Figure, error) {
+	morph := func(c *core.Config) {
+		c.Morph = true
+		c.MorphThreshold = 5
+	}
+	configs := []namedConfig{
+		{"without optimization", with(morph, func(c *core.Config) {
+			c.Optimize = false
+			c.ConservativeFlags = true
+		})},
+		{"with optimization", with(morph)},
+	}
+	series, err := s.sweep(configs, slowdownMetric)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		Name:       "Figure 8",
+		Title:      "Comparison of No Code Optimization versus Code Optimization",
+		Metric:     "slowdown vs Pentium III (lower is better)",
+		Benchmarks: s.Benchmarks(),
+		Notes:      "optimization off also disables cross-block dead-flag elimination",
+		Series:     series,
+	}, nil
+}
+
+// reconfigSweep is the configuration set of Figures 9 and 10.
+func reconfigSweep() []namedConfig {
+	morph := func(thr int) func(*core.Config) {
+		return func(c *core.Config) {
+			c.Morph = true
+			c.MorphThreshold = thr
+		}
+	}
+	return []namedConfig{
+		{"1 mem / 9 trans", with(func(c *core.Config) { c.Slaves = 9; c.MemBanks = 1 })},
+		{"4 mem / 6 trans", with(func(c *core.Config) { c.Slaves = 6; c.MemBanks = 4 })},
+		{"morph thresh 15", with(morph(15))},
+		{"morph thresh 0", with(morph(0))},
+		{"morph thresh 5", with(morph(5))},
+	}
+}
+
+// Figure9 — trading silicon between L2 data cache and translation,
+// statically and dynamically.
+func (s *Suite) Figure9() (*Figure, error) {
+	series, err := s.sweep(reconfigSweep(), slowdownMetric)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		Name:       "Figure 9",
+		Title:      "Trading Silicon Resources Between L2 Data Cache and Translation",
+		Metric:     "slowdown vs Pentium III (lower is better)",
+		Benchmarks: s.Benchmarks(),
+		Series:     series,
+	}, nil
+}
+
+// Figure10 — Figure 9 normalized to the 1 mem / 9 trans configuration,
+// as percentage faster (higher is better).
+func (s *Suite) Figure10() (*Figure, error) {
+	f9, err := s.Figure9()
+	if err != nil {
+		return nil, err
+	}
+	ref := f9.Series[0]
+	out := &Figure{
+		Name:       "Figure 10",
+		Title:      "Relative Comparison of Performance for Differing Configurations",
+		Metric:     "% faster than 1 mem / 9 trans (higher is better)",
+		Benchmarks: f9.Benchmarks,
+		Notes:      "paper: dynamic reconfiguration beats the best static config on gzip, mcf, parser, bzip2",
+	}
+	for _, ser := range f9.Series[1:] {
+		vals := make([]float64, len(ser.Values))
+		for i := range ser.Values {
+			vals[i] = (ref.Values[i]/ser.Values[i] - 1) * 100
+		}
+		out.Series = append(out.Series, Series{Label: ser.Label, Values: vals})
+	}
+	return out, nil
+}
+
+// Headline reports the paper's §1 summary: the slowdown band across
+// SpecInt under the default configuration.
+func (s *Suite) Headline() (string, error) {
+	cfg := base()
+	lo, hi := 0.0, 0.0
+	var loName, hiName string
+	for _, bench := range s.Benchmarks() {
+		sd, err := s.Slowdown(bench, "default", cfg)
+		if err != nil {
+			return "", err
+		}
+		if lo == 0 || sd < lo {
+			lo, loName = sd, bench
+		}
+		if sd > hi {
+			hi, hiName = sd, bench
+		}
+	}
+	return fmt.Sprintf(
+		"Headline: slowdown band %.0fx (%s) to %.0fx (%s) vs Pentium III\n"+
+			"paper: approximately 7x-110x across SpecInt 2000\n",
+		lo, loName, hi, hiName), nil
+}
+
+// with clones the default config and applies mutations.
+func with(muts ...func(*core.Config)) core.Config {
+	c := base()
+	for _, m := range muts {
+		m(&c)
+	}
+	return c
+}
+
+// Ablations measures design choices the paper calls out but does not
+// sweep: chaining, the return predictor, and prioritized speculation
+// queues, each disabled against the default configuration.
+func (s *Suite) Ablations() (*Figure, error) {
+	configs := []namedConfig{
+		{"default", with()},
+		{"no chaining", with(func(c *core.Config) { c.NoChain = true })},
+		{"no return predictor", with(func(c *core.Config) { c.NoReturnPredictor = true })},
+		{"FIFO spec queues", with(func(c *core.Config) { c.FIFOSpec = true })},
+		{"conservative flags", with(func(c *core.Config) { c.ConservativeFlags = true })},
+	}
+	series, err := s.sweep(configs, slowdownMetric)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		Name:       "Ablations",
+		Title:      "Design-choice ablations (beyond the paper)",
+		Metric:     "slowdown vs Pentium III (lower is better)",
+		Benchmarks: s.Benchmarks(),
+		Series:     series,
+	}, nil
+}

@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"tilevm/internal/core"
+	"tilevm/internal/workload"
+)
+
+// MultiVM measures the §5 scenario: pairs of guests sharing one
+// fabric, with and without cross-VM translation-tile lending. It
+// reports per-guest cycles and the makespan for a small/large pairing
+// and a symmetric pairing.
+func (s *Suite) MultiVM() (string, error) {
+	pairs := [][2]string{
+		{"164.gzip", "176.gcc"},
+		{"181.mcf", "255.vortex"},
+		{"176.gcc", "255.vortex"},
+	}
+	cfg := core.DefaultConfig()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Multi-VM — two virtual x86 processors sharing the fabric (§5)\n")
+	fmt.Fprintf(&b, "%-24s %-10s %14s %14s %14s %12s\n",
+		"pair", "lending", "A cycles", "B cycles", "makespan", "B demand-miss")
+	for _, pr := range pairs {
+		pa, okA := workload.ByName(pr[0])
+		pb, okB := workload.ByName(pr[1])
+		if !okA || !okB {
+			return "", fmt.Errorf("bench: unknown pair %v", pr)
+		}
+		imgA, imgB := pa.Build(), pb.Build()
+		for _, lend := range []bool{false, true} {
+			res, err := core.RunPair(imgA, imgB, cfg, lend)
+			if err != nil {
+				return "", fmt.Errorf("pair %v lend=%v: %w", pr, lend, err)
+			}
+			mode := "off"
+			if lend {
+				mode = "on"
+			}
+			fmt.Fprintf(&b, "%-24s %-10s %14d %14d %14d %12d\n",
+				pr[0]+" + "+pr[1], mode,
+				res.A.Cycles, res.B.Cycles, res.Makespan, res.B.M.DemandMisses)
+		}
+	}
+	return b.String(), nil
+}

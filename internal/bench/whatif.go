@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"tilevm/internal/core"
+)
+
+// Hardware what-if analysis (paper §4.5 and §5): the paper identifies
+// the architectural deficiencies of the all-software approach — no
+// MMU, so every guest load pays a 4-cycle software translation
+// occupancy; and no hardware instruction cache, so the lowest-level
+// code cache is capped at the 32KB tile instruction memory and
+// chaining cannot span it. This experiment re-runs the suite with
+// those pieces of hardware modeled, quantifying the §4.5 predictions:
+// an MMU "would primarily reduce the cost of an aligned L1 cache hit
+// to one cycle", and a hardware I-cache "could be large enough to hold
+// the instruction working set" with chaining throughout.
+
+// hwMMU models the guest-TLB load/store hardware of §5.
+func hwMMU(c *core.Config) {
+	c.Params.GuestL1HitOcc = 1
+	c.Params.GuestL1HitLat = 3
+	c.Params.GuestStoreOcc = 1
+	c.Params.MMULookupOcc = 4 // hardware lookup at the directory tile
+	c.Params.TLBMissOcc = 20
+}
+
+// hwICache models a hardware instruction cache: the L1 code cache
+// becomes a 512KB virtual space (tags in hardware, backing in DRAM),
+// large enough for every working set, with hardware-assisted fills.
+func hwICache(c *core.Config) {
+	c.Params.IMemBytes = 512 * 1024
+	c.Params.L1CopyWordOcc = 1
+	c.Params.L1LookupOcc = 4
+}
+
+// HardwareWhatIf runs the suite under the §4.5 hardware variants.
+func (s *Suite) HardwareWhatIf() (*Figure, error) {
+	configs := []namedConfig{
+		{"all software (paper)", with()},
+		{"+ hardware MMU", with(hwMMU)},
+		{"+ hardware I-cache", with(hwICache)},
+		{"+ both", with(hwMMU, hwICache)},
+	}
+	series, err := s.sweep(configs, slowdownMetric)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		Name:       "What-if",
+		Title:      "§4.5 hardware-assist analysis: MMU and hardware I-cache",
+		Metric:     "slowdown vs Pentium III (lower is better)",
+		Benchmarks: s.Benchmarks(),
+		Series:     series,
+		Notes: "paper predicts the MMU removes most of the 3.9x memory factor and the " +
+			"I-cache removes the high-end code-cache penalty (gcc/crafty/vortex)",
+	}, nil
+}
+
+// Utilization reports per-tile busy fractions under the default
+// configuration — the congestion evidence behind Figure 6's analysis
+// (the manager tile saturates on the high-slowdown benchmarks).
+func (s *Suite) Utilization(benchName string) (string, error) {
+	r, err := s.Run(benchName, "default", with())
+	if err != nil {
+		return "", err
+	}
+	roles := map[int]string{
+		0: "syscall", 4: "manager", 5: "exec", 6: "mmu",
+		1: "l1.5", 9: "l1.5", 10: "dbank",
+		2: "dbank", 14: "dbank", 7: "dbank",
+		3: "slave", 8: "slave", 11: "slave", 12: "slave", 13: "slave", 15: "slave",
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Tile utilization, %s, default config (%d cycles)\n", benchName, r.Cycles)
+	for tile, busy := range r.TileBusy {
+		fmt.Fprintf(&b, "  tile %2d  %-8s %6.1f%%\n",
+			tile, roles[tile], 100*float64(busy)/float64(r.Cycles))
+	}
+	return b.String(), nil
+}

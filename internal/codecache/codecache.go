@@ -1,0 +1,295 @@
+// Package codecache implements the three-level code cache hierarchy of
+// the translation system (paper §3.2, Figure 3):
+//
+//   - L1: the execution tile's 32KB software-managed instruction
+//     memory. Blocks are copied in with a tight-packing allocator that
+//     flushes wholesale when full; direct branches are chained (CHAIN
+//     sites patched to jumps) only at this level, because only here is
+//     a block's absolute position known.
+//   - L1.5: one or two banked tiles holding translated blocks close to
+//     the execution tile (64KB per bank), FIFO-evicted.
+//   - L2: the manager tile's map over a 105MB code store in off-chip
+//     DRAM.
+//
+// These are pure data structures plus accounting; the tile kernels in
+// internal/core charge the modeled cycle costs.
+package codecache
+
+import (
+	"tilevm/internal/rawisa"
+	"tilevm/internal/translate"
+)
+
+// L1 is the execution tile's code cache: a flat arena of decoded host
+// instructions indexed by position, with an entry map from guest PC.
+type L1 struct {
+	capacity int
+	arena    []rawisa.Inst
+	bytes    int
+	entry    map[uint32]int
+	// pending maps guest targets to arena indices of unpatched CHAIN
+	// instructions waiting for that target to become resident.
+	pending map[uint32][]int
+
+	Lookups uint64
+	Hits    uint64
+	Flushes uint64
+	Chains  uint64
+
+	// NoChain leaves CHAIN sites unpatched (ablation).
+	NoChain bool
+}
+
+// NewL1 builds an L1 code cache with the given byte capacity.
+func NewL1(capacityBytes int) *L1 {
+	l := &L1{capacity: capacityBytes}
+	l.reset()
+	return l
+}
+
+func (l *L1) reset() {
+	l.arena = l.arena[:0]
+	l.bytes = 0
+	l.entry = make(map[uint32]int)
+	l.pending = make(map[uint32][]int)
+}
+
+// Arena exposes the instruction arena for the execution engine.
+func (l *L1) Arena() []rawisa.Inst { return l.arena }
+
+// Bytes returns the occupied size.
+func (l *L1) Bytes() int { return l.bytes }
+
+// Lookup finds the arena index for a guest PC.
+func (l *L1) Lookup(pc uint32) (int, bool) {
+	l.Lookups++
+	idx, ok := l.entry[pc]
+	if ok {
+		l.Hits++
+	}
+	return idx, ok
+}
+
+// InsertStats reports the work done by an insert, for cycle charging.
+type InsertStats struct {
+	CopiedWords int
+	Patches     int
+	Flushed     bool
+}
+
+// Insert copies a translated block into the arena (flushing first if it
+// does not fit), records its entry, and performs chaining in both
+// directions: the new block's CHAIN sites are patched if their targets
+// are resident, and resident blocks' pending CHAIN sites to this block
+// are patched.
+func (l *L1) Insert(pc uint32, code []rawisa.Inst) (int, InsertStats) {
+	var st InsertStats
+	sz := rawisa.CodeBytes(code)
+	if l.bytes+sz > l.capacity {
+		// Tight packing with wholesale flush, as in the prototype.
+		l.reset()
+		l.Flushes++
+		st.Flushed = true
+	}
+	idx := len(l.arena)
+	l.arena = append(l.arena, code...)
+	l.bytes += sz
+	l.entry[pc] = idx
+	st.CopiedWords = sz / 4
+	if l.NoChain {
+		return idx, st
+	}
+
+	// Outgoing chaining: patch this block's CHAIN sites whose targets
+	// are already resident.
+	for i := idx; i < len(l.arena); i++ {
+		if l.arena[i].Op == rawisa.CHAIN {
+			target := l.arena[i].Target
+			if tidx, ok := l.entry[target]; ok {
+				l.arena[i] = rawisa.Inst{Op: rawisa.J, Target: uint32(tidx)}
+				l.Chains++
+				st.Patches++
+			} else {
+				l.pending[target] = append(l.pending[target], i)
+			}
+		}
+	}
+	// Incoming chaining: resident blocks waiting for this PC.
+	if sites, ok := l.pending[pc]; ok {
+		for _, i := range sites {
+			l.arena[i] = rawisa.Inst{Op: rawisa.J, Target: uint32(idx)}
+			l.Chains++
+			st.Patches++
+		}
+		delete(l.pending, pc)
+	}
+	return idx, st
+}
+
+// Contains reports residence without counting a lookup.
+func (l *L1) Contains(pc uint32) bool {
+	_, ok := l.entry[pc]
+	return ok
+}
+
+// PCForIndex maps an arena index back to the guest PC of the block
+// entered there (used to resolve chained jumps when execution must be
+// interrupted, e.g. on self-modifying-code invalidation).
+func (l *L1) PCForIndex(idx int) (uint32, bool) {
+	for pc, i := range l.entry {
+		if i == idx {
+			return pc, true
+		}
+	}
+	return 0, false
+}
+
+// Flush empties the cache (self-modifying-code invalidation).
+func (l *L1) Flush() {
+	l.reset()
+	l.Flushes++
+}
+
+// L15 is one bank of the intermediate code cache: translated blocks in
+// relocatable form, FIFO eviction.
+type L15 struct {
+	capacity int
+	bytes    int
+	blocks   map[uint32]*translate.Result
+	order    []uint32
+
+	Lookups uint64
+	Hits    uint64
+}
+
+// NewL15 builds a bank with the given capacity.
+func NewL15(capacityBytes int) *L15 {
+	return &L15{capacity: capacityBytes, blocks: make(map[uint32]*translate.Result)}
+}
+
+// Lookup returns the cached block for a guest PC.
+func (c *L15) Lookup(pc uint32) (*translate.Result, bool) {
+	c.Lookups++
+	b, ok := c.blocks[pc]
+	if ok {
+		c.Hits++
+	}
+	return b, ok
+}
+
+// Insert stores a block, evicting oldest entries to fit. Blocks larger
+// than the bank are not cached.
+func (c *L15) Insert(pc uint32, b *translate.Result) {
+	if b.CodeBytes > c.capacity {
+		return
+	}
+	if _, dup := c.blocks[pc]; dup {
+		return
+	}
+	for c.bytes+b.CodeBytes > c.capacity && len(c.order) > 0 {
+		victim := c.order[0]
+		c.order = c.order[1:]
+		if vb, ok := c.blocks[victim]; ok {
+			c.bytes -= vb.CodeBytes
+			delete(c.blocks, victim)
+		}
+	}
+	c.blocks[pc] = b
+	c.bytes += b.CodeBytes
+	c.order = append(c.order, pc)
+}
+
+// Bytes returns current occupancy.
+func (c *L15) Bytes() int { return c.bytes }
+
+// Flush empties the bank (self-modifying-code invalidation).
+func (c *L15) Flush() {
+	c.blocks = make(map[uint32]*translate.Result)
+	c.order = c.order[:0]
+	c.bytes = 0
+}
+
+// L2 is the manager's code cache over DRAM.
+type L2 struct {
+	capacity int
+	bytes    int
+	blocks   map[uint32]*translate.Result
+	order    []uint32
+
+	Accesses uint64
+	Misses   uint64
+	Stores   uint64
+}
+
+// NewL2 builds the DRAM code cache.
+func NewL2(capacityBytes int) *L2 {
+	return &L2{capacity: capacityBytes, blocks: make(map[uint32]*translate.Result)}
+}
+
+// Lookup consults the cache, counting an access.
+func (c *L2) Lookup(pc uint32) (*translate.Result, bool) {
+	c.Accesses++
+	b, ok := c.blocks[pc]
+	if !ok {
+		c.Misses++
+	}
+	return b, ok
+}
+
+// Contains probes without counting (used by the speculation queues to
+// dedup work).
+func (c *L2) Contains(pc uint32) bool {
+	_, ok := c.blocks[pc]
+	return ok
+}
+
+// Insert stores a translated block, FIFO-evicting if the DRAM budget is
+// exceeded (does not happen at our workload scales, but the bound is
+// real in the prototype: 105MB).
+func (c *L2) Insert(pc uint32, b *translate.Result) {
+	if _, dup := c.blocks[pc]; dup {
+		return
+	}
+	for c.bytes+b.CodeBytes > c.capacity && len(c.order) > 0 {
+		victim := c.order[0]
+		c.order = c.order[1:]
+		if vb, ok := c.blocks[victim]; ok {
+			c.bytes -= vb.CodeBytes
+			delete(c.blocks, victim)
+		}
+	}
+	c.blocks[pc] = b
+	c.bytes += b.CodeBytes
+	c.order = append(c.order, pc)
+	c.Stores++
+}
+
+// Bytes returns current occupancy.
+func (c *L2) Bytes() int { return c.bytes }
+
+// Len returns the number of cached blocks.
+func (c *L2) Len() int { return len(c.blocks) }
+
+// RemoveOverlapping drops every block whose guest byte range
+// intersects [lo, hi) and returns the removed entry PCs
+// (self-modifying-code invalidation).
+func (c *L2) RemoveOverlapping(lo, hi uint32) []uint32 {
+	var removed []uint32
+	for pc, b := range c.blocks {
+		if pc < hi && pc+b.GuestLen > lo {
+			c.bytes -= b.CodeBytes
+			delete(c.blocks, pc)
+			removed = append(removed, pc)
+		}
+	}
+	if len(removed) > 0 {
+		kept := c.order[:0]
+		for _, pc := range c.order {
+			if _, ok := c.blocks[pc]; ok {
+				kept = append(kept, pc)
+			}
+		}
+		c.order = kept
+	}
+	return removed
+}

@@ -1,0 +1,199 @@
+package codecache
+
+import (
+	"testing"
+
+	"tilevm/internal/rawisa"
+	"tilevm/internal/translate"
+)
+
+// block builds a code sequence of roughly n instructions ending in a
+// CHAIN to the given target.
+func block(n int, chainTo uint32) []rawisa.Inst {
+	code := make([]rawisa.Inst, 0, n+1)
+	for i := 0; i < n; i++ {
+		code = append(code, rawisa.Inst{Op: rawisa.ADDI, Rd: 1, Rs: 1, Imm: int32(i)})
+	}
+	code = append(code, rawisa.Inst{Op: rawisa.CHAIN, Target: chainTo})
+	return code
+}
+
+func TestL1InsertAndLookup(t *testing.T) {
+	l1 := NewL1(1024)
+	idx, st := l1.Insert(0x100, block(4, 0x200))
+	if st.Flushed || st.CopiedWords == 0 {
+		t.Errorf("insert stats: %+v", st)
+	}
+	got, ok := l1.Lookup(0x100)
+	if !ok || got != idx {
+		t.Errorf("Lookup = %d,%v", got, ok)
+	}
+	if _, ok := l1.Lookup(0x999); ok {
+		t.Error("phantom hit")
+	}
+	if l1.Lookups != 2 || l1.Hits != 1 {
+		t.Errorf("counters: %d/%d", l1.Lookups, l1.Hits)
+	}
+}
+
+func TestL1ChainingBothDirections(t *testing.T) {
+	l1 := NewL1(4096)
+	// A chains to B (not yet resident).
+	aIdx, st := l1.Insert(0xA, block(2, 0xB))
+	if st.Patches != 0 {
+		t.Errorf("premature patch")
+	}
+	// B arrives, chains back to A (resident): both directions patch.
+	bIdx, st := l1.Insert(0xB, block(2, 0xA))
+	if st.Patches != 2 {
+		t.Errorf("patches = %d, want 2 (incoming + outgoing)", st.Patches)
+	}
+	arena := l1.Arena()
+	// A's CHAIN site must now be a J to B's index.
+	foundAtoB := false
+	for i := aIdx; i < bIdx; i++ {
+		if arena[i].Op == rawisa.J && arena[i].Target == uint32(bIdx) {
+			foundAtoB = true
+		}
+	}
+	if !foundAtoB {
+		t.Error("A→B chain not patched")
+	}
+	// B's CHAIN site points back at A.
+	foundBtoA := false
+	for i := bIdx; i < len(arena); i++ {
+		if arena[i].Op == rawisa.J && arena[i].Target == uint32(aIdx) {
+			foundBtoA = true
+		}
+	}
+	if !foundBtoA {
+		t.Error("B→A chain not patched")
+	}
+}
+
+func TestL1NoChainAblation(t *testing.T) {
+	l1 := NewL1(4096)
+	l1.NoChain = true
+	l1.Insert(0xA, block(2, 0xB))
+	_, st := l1.Insert(0xB, block(2, 0xA))
+	if st.Patches != 0 || l1.Chains != 0 {
+		t.Error("NoChain still patched")
+	}
+}
+
+func TestL1FlushWhenFull(t *testing.T) {
+	l1 := NewL1(200) // tiny: a 5-inst block is 6 words = 24+8 bytes
+	var flushed bool
+	for i := 0; i < 10; i++ {
+		_, st := l1.Insert(uint32(0x100+i*16), block(5, 0))
+		flushed = flushed || st.Flushed
+	}
+	if !flushed {
+		t.Error("cache never flushed")
+	}
+	if l1.Flushes == 0 {
+		t.Error("flush counter zero")
+	}
+	// Old entries are gone after the flush.
+	if _, ok := l1.Lookup(0x100); ok {
+		t.Error("pre-flush entry survived")
+	}
+}
+
+func res(pc uint32, n int) *translate.Result {
+	code := block(n, pc+64)
+	return &translate.Result{
+		Code:      code,
+		CodeBytes: rawisa.CodeBytes(code),
+	}
+}
+
+func TestL15FIFOEviction(t *testing.T) {
+	bank := NewL15(200)
+	for i := 0; i < 6; i++ {
+		bank.Insert(uint32(i), res(uint32(i), 10)) // 48 bytes each
+	}
+	// Early entries must have been evicted, later ones present.
+	if _, ok := bank.Lookup(0); ok {
+		t.Error("oldest entry survived")
+	}
+	if _, ok := bank.Lookup(5); !ok {
+		t.Error("newest entry evicted")
+	}
+	if bank.Bytes() > 200 {
+		t.Errorf("over capacity: %d", bank.Bytes())
+	}
+}
+
+func TestL15OversizedBlockNotCached(t *testing.T) {
+	bank := NewL15(100)
+	bank.Insert(1, res(1, 100))
+	if _, ok := bank.Lookup(1); ok {
+		t.Error("oversized block cached")
+	}
+}
+
+func TestL15DuplicateInsert(t *testing.T) {
+	bank := NewL15(1000)
+	r := res(1, 10)
+	bank.Insert(1, r)
+	bank.Insert(1, r)
+	if bank.Bytes() != r.CodeBytes {
+		t.Errorf("duplicate insert double-counted: %d", bank.Bytes())
+	}
+}
+
+func TestL2AccountingAndEviction(t *testing.T) {
+	l2 := NewL2(500)
+	for i := 0; i < 20; i++ {
+		l2.Insert(uint32(i), res(uint32(i), 10))
+	}
+	if l2.Bytes() > 500 {
+		t.Errorf("over budget: %d", l2.Bytes())
+	}
+	if _, ok := l2.Lookup(19); !ok {
+		t.Error("latest block missing")
+	}
+	if l2.Accesses != 1 {
+		t.Errorf("accesses = %d", l2.Accesses)
+	}
+	if _, ok := l2.Lookup(0); ok {
+		t.Error("oldest block survived eviction")
+	}
+	if l2.Misses != 1 {
+		t.Errorf("misses = %d", l2.Misses)
+	}
+	if l2.Contains(0) {
+		t.Error("Contains inconsistent with Lookup")
+	}
+}
+
+func TestL2LargeCapacityHoldsEverything(t *testing.T) {
+	l2 := NewL2(105 * 1024 * 1024)
+	for i := 0; i < 1000; i++ {
+		l2.Insert(uint32(i*64), res(uint32(i*64), 20))
+	}
+	if l2.Len() != 1000 {
+		t.Errorf("Len = %d", l2.Len())
+	}
+	for i := 0; i < 1000; i += 97 {
+		if !l2.Contains(uint32(i * 64)) {
+			t.Errorf("block %d missing", i)
+		}
+	}
+}
+
+func TestL1ArenaIndicesStableWithinGeneration(t *testing.T) {
+	l1 := NewL1(1 << 20)
+	var idxs []int
+	for i := 0; i < 50; i++ {
+		idx, _ := l1.Insert(uint32(i), block(3, 0xffffffff))
+		idxs = append(idxs, idx)
+	}
+	for i, want := range idxs {
+		got, ok := l1.Lookup(uint32(i))
+		if !ok || got != want {
+			t.Fatalf("entry %d moved: %d -> %d (%v)", i, want, got, ok)
+		}
+	}
+}

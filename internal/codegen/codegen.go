@@ -1,0 +1,186 @@
+// Package codegen finalizes IR blocks into executable host code: it
+// maps virtual registers onto the host temporary registers with a
+// linear-scan allocator and resolves symbolic branch labels to relative
+// instruction offsets.
+//
+// IR control flow within a block only branches forward, so positional
+// live ranges ([definition, last use] by instruction index) are exact
+// and linear scan is optimal-enough. Rather than spilling under
+// pressure, the allocator reports ErrRegPressure and the translator
+// retries with a smaller block — the same strategy real DBTs use when
+// a superblock does not fit the scratch register budget.
+package codegen
+
+import (
+	"errors"
+	"fmt"
+
+	"tilevm/internal/ir"
+	"tilevm/internal/rawisa"
+)
+
+// ErrRegPressure reports that a block needs more live temporaries than
+// the host has; retry translation with a smaller block.
+var ErrRegPressure = errors.New("codegen: out of host temporary registers")
+
+// tempPool is the set of host registers available for temporaries.
+var tempPool = func() []uint8 {
+	var regs []uint8
+	for r := rawisa.RegTmp0; r <= rawisa.RegTmpN; r++ {
+		regs = append(regs, uint8(r))
+	}
+	return regs
+}()
+
+// NumTemps is the number of allocatable temporary registers.
+var NumTemps = len(tempPool)
+
+// regUses returns the registers an instruction reads.
+func regUses(in rawisa.Inst) (uses [2]uint8, n int) {
+	switch in.Op {
+	case rawisa.NOP, rawisa.LUI, rawisa.SYSC, rawisa.EXITI, rawisa.CHAIN,
+		rawisa.ASSIST, rawisa.J, rawisa.JAL, rawisa.MFHI, rawisa.MFLO:
+		return
+	case rawisa.ADD, rawisa.SUB, rawisa.AND, rawisa.OR, rawisa.XOR,
+		rawisa.NOR, rawisa.SLT, rawisa.SLTU, rawisa.SLL, rawisa.SRL,
+		rawisa.SRA, rawisa.MULT, rawisa.MULTU, rawisa.DIV, rawisa.DIVU,
+		rawisa.BEQ, rawisa.BNE, rawisa.SW,
+		rawisa.GSB, rawisa.GSH, rawisa.GSW:
+		uses[0], uses[1] = in.Rs, in.Rt
+		n = 2
+		return
+	default:
+		// I-format ALU, loads, single-register branches, JR, EXITR.
+		uses[0] = in.Rs
+		n = 1
+		return
+	}
+}
+
+// regDef returns the register an instruction writes, or 0 (the
+// hardwired zero register, meaning "no def").
+func regDef(in rawisa.Inst) uint8 {
+	switch in.Op {
+	case rawisa.LUI, rawisa.ADDI, rawisa.ANDI, rawisa.ORI, rawisa.XORI,
+		rawisa.SLTI, rawisa.SLTIU, rawisa.SLLI, rawisa.SRLI, rawisa.SRAI,
+		rawisa.ADD, rawisa.SUB, rawisa.AND, rawisa.OR, rawisa.XOR,
+		rawisa.NOR, rawisa.SLT, rawisa.SLTU, rawisa.SLL, rawisa.SRL,
+		rawisa.SRA, rawisa.MFHI, rawisa.MFLO, rawisa.LW,
+		rawisa.GLB, rawisa.GLBU, rawisa.GLH, rawisa.GLHU, rawisa.GLW:
+		return in.Rd
+	}
+	return 0
+}
+
+// Finalize allocates registers and resolves labels, returning
+// executable host code. The input block is not modified.
+func Finalize(b *ir.Block) ([]rawisa.Inst, error) {
+	lastUse := make(map[uint8]int)
+	for i, in := range b.Code {
+		uses, n := regUses(in.Inst)
+		for k := 0; k < n; k++ {
+			if uses[k] >= ir.FirstVReg {
+				lastUse[uses[k]] = i
+			}
+		}
+		// A def with no later use still occupies its register at the
+		// defining instruction.
+		if d := regDef(in.Inst); d >= ir.FirstVReg {
+			if _, seen := lastUse[d]; !seen {
+				lastUse[d] = i
+			}
+		}
+	}
+
+	assign := make(map[uint8]uint8) // vreg -> phys
+	var free []uint8
+	free = append(free, tempPool...)
+	inUse := make(map[uint8]uint8) // phys -> vreg
+
+	expire := func(pos int) {
+		for phys, v := range inUse {
+			if lastUse[v] < pos {
+				delete(inUse, phys)
+				free = append(free, phys)
+			}
+		}
+	}
+
+	mapReg := func(r uint8, pos int, isDef bool) (uint8, error) {
+		if r < ir.FirstVReg {
+			return r, nil
+		}
+		if phys, ok := assign[r]; ok {
+			if v, busy := inUse[phys]; busy && v == r {
+				return phys, nil
+			}
+			// Register was freed and the vreg is being redefined.
+			if !isDef {
+				return 0, fmt.Errorf("codegen: use of dead vreg %d at %d", r, pos)
+			}
+		}
+		if !isDef {
+			return 0, fmt.Errorf("codegen: use of undefined vreg %d at %d", r, pos)
+		}
+		if len(free) == 0 {
+			return 0, ErrRegPressure
+		}
+		// Deterministic: take the lowest-numbered free register.
+		best := 0
+		for i := range free {
+			if free[i] < free[best] {
+				best = i
+			}
+		}
+		phys := free[best]
+		free = append(free[:best], free[best+1:]...)
+		assign[r] = phys
+		inUse[phys] = r
+		return phys, nil
+	}
+
+	out := make([]rawisa.Inst, len(b.Code))
+	for i, in := range b.Code {
+		expire(i)
+		host := in.Inst
+		uses, n := regUses(host)
+		for k := 0; k < n; k++ {
+			mapped, err := mapReg(uses[k], i, false)
+			if err != nil {
+				return nil, err
+			}
+			if k == 0 {
+				host.Rs = mapped
+			} else {
+				host.Rt = mapped
+			}
+		}
+		// Re-fetch non-use fields untouched: for ops where Rs/Rt are not
+		// uses (e.g. MFHI), the loop above did not run for them.
+		if d := regDef(in.Inst); d != 0 {
+			mapped, err := mapReg(d, i, true)
+			if err != nil {
+				return nil, err
+			}
+			host.Rd = mapped
+			// Extend in-use through this position even if never used
+			// again (lastUse defaulted to the def position).
+		}
+		out[i] = host
+	}
+
+	// Resolve labels to relative instruction offsets (counted in
+	// instructions from the instruction after the branch).
+	for i := range out {
+		switch out[i].Op {
+		case rawisa.BEQ, rawisa.BNE, rawisa.BLEZ, rawisa.BGTZ, rawisa.BLTZ, rawisa.BGEZ:
+			label := b.Code[i].Label
+			if label == ir.NoLabel {
+				return nil, fmt.Errorf("codegen: branch without label at %d", i)
+			}
+			target := b.LabelPos[label]
+			out[i].Imm = int32(target - (i + 1))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,149 @@
+package codegen
+
+import (
+	"errors"
+	"testing"
+
+	"tilevm/internal/ir"
+	"tilevm/internal/rawisa"
+)
+
+func build(t *testing.T, f func(b *ir.Builder)) *ir.Block {
+	t.Helper()
+	b := ir.NewBuilder(0x1000)
+	f(b)
+	blk, err := b.Finish(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blk
+}
+
+func TestFinalizeMapsVRegs(t *testing.T) {
+	blk := build(t, func(b *ir.Builder) {
+		v1 := b.VReg()
+		v2 := b.VReg()
+		b.LoadImm(v1, 5)
+		b.OpI(rawisa.ADDI, v2, v1, 1)
+		b.Op3(rawisa.ADD, rawisa.RegEAX, rawisa.RegEAX, v2)
+		b.ExitImm(0x1004)
+	})
+	code, err := Finalize(blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, in := range code {
+		for _, r := range []uint8{in.Rd, in.Rs, in.Rt} {
+			if r >= ir.FirstVReg {
+				t.Errorf("inst %d still has virtual register %d: %v", i, r, in)
+			}
+		}
+	}
+}
+
+func TestFinalizeReusesRegisters(t *testing.T) {
+	// Sequential short-lived temps must recycle the same host register.
+	blk := build(t, func(b *ir.Builder) {
+		for i := 0; i < 40; i++ {
+			v := b.VReg()
+			b.LoadImm(v, uint32(i))
+			b.Op3(rawisa.ADD, rawisa.RegEAX, rawisa.RegEAX, v)
+		}
+		b.ExitImm(0)
+	})
+	code, err := Finalize(blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := map[uint8]bool{}
+	for _, in := range code {
+		if d := regDef(in); d >= uint8(rawisa.RegTmp0) && d <= uint8(rawisa.RegTmpN) {
+			used[d] = true
+		}
+	}
+	if len(used) > 2 {
+		t.Errorf("40 sequential temps used %d host registers", len(used))
+	}
+}
+
+func TestFinalizePressureError(t *testing.T) {
+	// More simultaneously-live temps than the pool has.
+	blk := build(t, func(b *ir.Builder) {
+		var regs []uint8
+		for i := 0; i < NumTemps+2; i++ {
+			v := b.VReg()
+			b.LoadImm(v, uint32(i))
+			regs = append(regs, v)
+		}
+		// Use them all at the end so every range spans the block.
+		for _, v := range regs {
+			b.Op3(rawisa.ADD, rawisa.RegEAX, rawisa.RegEAX, v)
+		}
+		b.ExitImm(0)
+	})
+	_, err := Finalize(blk)
+	if !errors.Is(err, ErrRegPressure) {
+		t.Fatalf("err = %v, want ErrRegPressure", err)
+	}
+}
+
+func TestFinalizeResolvesBranches(t *testing.T) {
+	blk := build(t, func(b *ir.Builder) {
+		l := b.NewLabel()
+		b.EmitBranch(rawisa.Inst{Op: rawisa.BNE, Rs: rawisa.RegEAX, Rt: 0}, l)
+		b.OpI(rawisa.ADDI, rawisa.RegEBX, rawisa.RegEBX, 1)
+		b.OpI(rawisa.ADDI, rawisa.RegEBX, rawisa.RegEBX, 2)
+		b.Bind(l)
+		b.ExitImm(0)
+	})
+	code, err := Finalize(blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code[0].Op != rawisa.BNE || code[0].Imm != 2 {
+		t.Errorf("branch offset = %d, want 2 (%v)", code[0].Imm, code[0])
+	}
+}
+
+func TestFinalizeKeepsPhysicalRegisters(t *testing.T) {
+	blk := build(t, func(b *ir.Builder) {
+		b.OpI(rawisa.ADDI, rawisa.RegESP, rawisa.RegESP, -4)
+		b.Emit(rawisa.Inst{Op: rawisa.GSW, Rs: rawisa.RegESP, Rt: rawisa.RegEAX})
+		b.ExitImm(0)
+	})
+	code, err := Finalize(blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code[0].Rd != rawisa.RegESP || code[1].Rs != rawisa.RegESP || code[1].Rt != rawisa.RegEAX {
+		t.Errorf("physical registers remapped: %v %v", code[0], code[1])
+	}
+}
+
+func TestFinalizeDeterministic(t *testing.T) {
+	mk := func() []rawisa.Inst {
+		blk := build(t, func(b *ir.Builder) {
+			var vs []uint8
+			for i := 0; i < 8; i++ {
+				v := b.VReg()
+				b.LoadImm(v, uint32(i*3))
+				vs = append(vs, v)
+			}
+			for _, v := range vs {
+				b.Op3(rawisa.XOR, rawisa.RegEAX, rawisa.RegEAX, v)
+			}
+			b.ExitImm(0)
+		})
+		code, err := Finalize(blk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return code
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic allocation at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

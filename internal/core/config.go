@@ -1,0 +1,207 @@
+// Package core wires the parallel dynamic binary translation engine
+// onto the simulated Raw machine: the runtime-execution tile kernel
+// (dispatch loop + L1 code cache + tile data cache), the manager tile
+// (L2 code cache, speculative translation queues, dynamic
+// reconfiguration), translation slave tiles, banked L1.5 code cache
+// tiles, the MMU/TLB tile, L2 data cache bank tiles, and the syscall
+// proxy tile — the block diagram of the paper's Figure 3.
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"tilevm/internal/raw"
+)
+
+// Config selects a virtual architecture: how the 16 tiles are
+// provisioned between functions. The paper's experiments sweep these
+// knobs (Figures 4, 5, 8, 9, 10).
+type Config struct {
+	Params raw.Params
+
+	// Slaves is the number of translation slave tiles (1..9).
+	Slaves int
+	// Speculative enables run-ahead translation; false is the paper's
+	// "conservative translator" baseline.
+	Speculative bool
+	// L15Banks is the number of L1.5 code cache bank tiles (0, 1, 2).
+	L15Banks int
+	// MemBanks is the number of L2 data cache bank tiles (1 or 4).
+	MemBanks int
+	// Optimize runs the optimizer on every translated block.
+	Optimize bool
+	// ConservativeFlags disables cross-block dead-flag elimination.
+	ConservativeFlags bool
+
+	// Morph enables dynamic reconfiguration between (1 mem / 9 trans)
+	// and (4 mem / 6 trans); Slaves/MemBanks then give the *initial*
+	// configuration (normally 6/4).
+	Morph bool
+	// MorphThreshold is the translation-queue length above which the
+	// manager reconfigures toward translators (paper values: 15, 0, 5).
+	MorphThreshold int
+	// MorphMinInterval is the hysteresis: minimum cycles between
+	// reconfigurations.
+	MorphMinInterval uint64
+
+	// Ablation knobs (not part of the paper's sweeps; used by the
+	// beyond-the-paper ablation benches).
+	//
+	// NoChain disables direct-branch chaining in the L1 code cache.
+	NoChain bool
+	// NoReturnPredictor disables the call-return low-priority queue.
+	NoReturnPredictor bool
+	// FIFOSpec collapses the prioritized speculation queues to FIFO.
+	FIFOSpec bool
+
+	// MaxCycles is the simulation watchdog (0 = default).
+	MaxCycles uint64
+
+	// MaxBlockExecs bounds dispatch-loop iterations (0 = unlimited);
+	// used by tests.
+	MaxBlockExecs uint64
+
+	// Trace, if non-nil, receives one line per dispatch-loop iteration
+	// (virtual cycle, guest PC, code-cache level that supplied the
+	// block), up to TraceLimit lines (0 = 1000).
+	Trace      io.Writer
+	TraceLimit int
+}
+
+// DefaultConfig is the paper's headline configuration: 6 speculative
+// translators, 2-bank L1.5, 4 memory banks, optimization on.
+func DefaultConfig() Config {
+	return Config{
+		Params:           raw.DefaultParams(),
+		Slaves:           6,
+		Speculative:      true,
+		L15Banks:         2,
+		MemBanks:         4,
+		Optimize:         true,
+		MorphThreshold:   5,
+		MorphMinInterval: 20_000,
+	}
+}
+
+// Fixed tile placement on the 4×4 grid (see DESIGN.md): the execution
+// tile sits centrally with the L1.5 banks, manager, and MMU adjacent,
+// matching the paper's explicit attention to on-chip layout.
+const (
+	tileSys     = 0
+	tileExec    = 5
+	tileManager = 4
+	tileMMU     = 6
+)
+
+var (
+	tilesL15        = []int{1, 9}
+	tilePermBank    = 10
+	tilesSwitchable = []int{2, 14, 7}
+	tilesPermSlave  = []int{3, 8, 11, 12, 13, 15}
+)
+
+// placement is the resolved tile role assignment. The service-tile
+// fields default to the single-VM constants; the multi-VM runner
+// (multivm.go) builds placements over disjoint tile subsets.
+type placement struct {
+	sys     int
+	exec    int
+	manager int
+	mmu     int
+	l15     []int // L1.5 bank tiles in bank order
+	banks   []int // L2 data bank tiles in bank order (initial)
+	slaves  []int // translation slave tiles (initial)
+	// switchable lists the tiles the morph controller retargets.
+	switchable []int
+	// switchIsBank records the initial role of each switchable tile.
+	switchIsBank map[int]bool
+	idle         []int
+}
+
+// place resolves the config to tile assignments.
+func place(cfg *Config) (placement, error) {
+	p := placement{
+		sys:        tileSys,
+		exec:       tileExec,
+		manager:    tileManager,
+		mmu:        tileMMU,
+		switchable: tilesSwitchable,
+	}
+	if cfg.Slaves < 1 || cfg.Slaves > len(tilesPermSlave)+len(tilesSwitchable) {
+		return p, fmt.Errorf("core: %d slaves out of range", cfg.Slaves)
+	}
+	if cfg.L15Banks < 0 || cfg.L15Banks > len(tilesL15) {
+		return p, fmt.Errorf("core: %d L1.5 banks out of range", cfg.L15Banks)
+	}
+	if cfg.MemBanks < 1 || cfg.MemBanks > 1+len(tilesSwitchable) {
+		return p, fmt.Errorf("core: %d memory banks out of range", cfg.MemBanks)
+	}
+	extraSlaves := cfg.Slaves - len(tilesPermSlave)
+	if extraSlaves < 0 {
+		extraSlaves = 0
+	}
+	extraBanks := cfg.MemBanks - 1
+	if extraSlaves+extraBanks > len(tilesSwitchable) {
+		return p, fmt.Errorf("core: %d slaves and %d memory banks exceed the switchable tile pool",
+			cfg.Slaves, cfg.MemBanks)
+	}
+	if cfg.Morph && (cfg.Slaves != 6 || cfg.MemBanks != 4) {
+		return p, fmt.Errorf("core: morphing requires the 6-slave/4-bank initial configuration")
+	}
+
+	p.l15 = append(p.l15, tilesL15[:cfg.L15Banks]...)
+	p.switchIsBank = map[int]bool{}
+
+	if cfg.Morph {
+		// Dynamic reconfiguration begins translation-heavy: "when a
+		// program begins, the program has not been translated yet,
+		// thus most of the silicon resources should be dedicated to
+		// translation" (§2.3). The controller hands the switchable
+		// tiles to the memory system once the queues drain.
+		extraSlaves, extraBanks = len(tilesSwitchable), 0
+	}
+
+	n := cfg.Slaves
+	if n > len(tilesPermSlave) {
+		n = len(tilesPermSlave)
+	}
+	p.slaves = append(p.slaves, tilesPermSlave[:n]...)
+	for i := 0; i < extraSlaves; i++ {
+		p.slaves = append(p.slaves, tilesSwitchable[i])
+		p.switchIsBank[tilesSwitchable[i]] = false
+	}
+
+	p.banks = []int{tilePermBank}
+	for i := 0; i < extraBanks; i++ {
+		t := tilesSwitchable[len(tilesSwitchable)-1-i]
+		p.banks = append(p.banks, t)
+		p.switchIsBank[t] = true
+	}
+
+	used := map[int]bool{p.sys: true, p.exec: true, p.manager: true, p.mmu: true}
+	for _, t := range p.l15 {
+		used[t] = true
+	}
+	for _, t := range p.slaves {
+		used[t] = true
+	}
+	for _, t := range p.banks {
+		used[t] = true
+	}
+	for t := 0; t < 16; t++ {
+		if !used[t] {
+			p.idle = append(p.idle, t)
+		}
+	}
+	return p, nil
+}
+
+// l15BankFor selects the L1.5 bank servicing a guest PC. The exec tile
+// and the manager must agree on this mapping.
+func l15BankFor(pc uint32, banks int) int {
+	if banks <= 1 {
+		return 0
+	}
+	return int(pc>>6) % banks
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+
+	"tilevm/internal/guest"
+	"tilevm/internal/metrics"
+	"tilevm/internal/raw"
+	"tilevm/internal/translate"
+)
+
+// Result is the outcome of running a guest image on the machine.
+type Result struct {
+	Cycles   uint64
+	ExitCode int32
+	Stdout   string
+	M        metrics.Set
+	// TileBusy is the per-tile busy-cycle count (index = tile id);
+	// divide by Cycles for utilization.
+	TileBusy []uint64
+}
+
+// engine is the shared state of one run. The discrete-event simulator
+// executes exactly one tile kernel at a time, so this state needs no
+// locking.
+type engine struct {
+	cfg   Config
+	pl    placement
+	m     *raw.Machine
+	proc  *guest.Process
+	tr    *translate.Translator
+	stats metrics.Set
+
+	execErr    error
+	stopCycles uint64
+	mgr        *managerState
+	// onExit, when set, replaces the default Stop() at guest exit
+	// (multi-VM coordination).
+	onExit func(*raw.TileCtx)
+	// peerMgr is the other VM's manager tile in multi-VM mode (-1 when
+	// single-VM); lend enables cross-VM slave lending.
+	peerMgr int
+	lend    bool
+
+	// Self-modifying-code tracking (single-threaded in virtual time,
+	// shared between the execution tile's detector and the manager's
+	// page registry).
+	codePages map[uint32]bool   // 4KB pages holding translated code
+	pageInval map[uint32]uint64 // page -> SMC generation of last invalidation
+	smcGen    uint64
+}
+
+// Run executes a guest image under the given virtual architecture
+// configuration and returns cycle counts and metrics.
+func Run(img *guest.Image, cfg Config) (*Result, error) {
+	pl, err := place(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 20_000_000_000
+	}
+
+	e := &engine{
+		cfg:     cfg,
+		pl:      pl,
+		m:       raw.NewMachine(cfg.Params),
+		peerMgr: -1,
+		proc:    guest.Load(img),
+		tr: translate.New(translate.Options{
+			Optimize:          cfg.Optimize,
+			ConservativeFlags: cfg.ConservativeFlags,
+		}),
+		codePages: map[uint32]bool{},
+		pageInval: map[uint32]uint64{},
+	}
+	e.m.Sim.SetLimit(cfg.MaxCycles)
+
+	e.spawn()
+
+	simErr := e.m.Run()
+
+	if e.stopCycles == 0 {
+		e.stopCycles = e.m.Sim.Now()
+	}
+	e.stats.Cycles = e.stopCycles
+	if e.mgr != nil {
+		e.stats.L2CAccess = e.mgr.l2.Accesses
+		e.stats.L2CMisses = e.mgr.l2.Misses
+		e.stats.SpecWasted = uint64(len(e.mgr.specStored))
+	}
+	res := &Result{
+		Cycles:   e.stopCycles,
+		ExitCode: e.proc.Kern.ExitCode,
+		Stdout:   e.proc.Kern.Stdout.String(),
+		M:        e.stats,
+		TileBusy: e.m.BusyCycles(),
+	}
+	// Partial results are returned alongside the error so callers can
+	// diagnose watchdog/abort conditions.
+	if simErr != nil {
+		return res, fmt.Errorf("core: simulation failed: %w", simErr)
+	}
+	if e.execErr != nil {
+		return res, fmt.Errorf("core: guest execution failed: %w", e.execErr)
+	}
+	return res, nil
+}
+
+// spawn registers this engine's tile kernels on the machine.
+func (e *engine) spawn() {
+	e.m.SpawnTile(e.pl.exec, "exec", e.execKernel)
+	e.m.SpawnTile(e.pl.manager, "manager", e.managerKernel)
+	e.m.SpawnTile(e.pl.mmu, "mmu", e.mmuKernel)
+	e.m.SpawnTile(e.pl.sys, "syscall", e.sysKernel)
+	for _, t := range e.pl.l15 {
+		e.m.SpawnTile(t, "l15", e.l15Kernel)
+	}
+	spawned := map[int]bool{}
+	for _, t := range e.pl.slaves {
+		e.m.SpawnTile(t, "worker", e.workerBody(roleSlave))
+		spawned[t] = true
+	}
+	for _, t := range e.pl.banks {
+		if !spawned[t] {
+			e.m.SpawnTile(t, "worker", e.workerBody(roleBank))
+		}
+	}
+}
+
+// tileClock adapts a tile context to the execution engine's Clock.
+type tileClock struct{ c *raw.TileCtx }
+
+func (t tileClock) Now() uint64   { return t.c.Now() }
+func (t tileClock) Tick(d uint64) { t.c.Tick(d) }

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"fmt"
+
+	"tilevm/internal/cachesim"
+	"tilevm/internal/codecache"
+	"tilevm/internal/raw"
+	"tilevm/internal/rawexec"
+	"tilevm/internal/translate"
+	"tilevm/internal/x86interp"
+)
+
+// execKernel is the runtime-execution tile: the dispatch loop, the L1
+// code cache in the tile's instruction memory, the tile data cache, and
+// the translated-code execution engine.
+func (e *engine) execKernel(c *raw.TileCtx) {
+	P := e.cfg.Params
+	l1 := codecache.NewL1(P.IMemBytes)
+	l1.NoChain = e.cfg.NoChain
+	env := &execEnv{
+		e:      e,
+		c:      c,
+		dl1:    cachesim.New(P.DCacheBytes, P.DCacheWays, P.DCacheLine),
+		interp: x86interp.New(e.proc),
+	}
+	cpu := &rawexec.CPU{}
+	cpu.LoadGuest(&e.proc.CPU)
+	pc := e.proc.PC
+	traceLimit := e.cfg.TraceLimit
+	if traceLimit == 0 {
+		traceLimit = 1000
+	}
+	traced := 0
+
+	for {
+		e.stats.BlockDispatches++
+		c.Tick(P.DispatchOcc + P.L1LookupOcc)
+		source := "L1"
+		idx, ok := l1.Lookup(pc)
+		if !ok {
+			source = "L1.5/L2"
+			res := e.fetchBlock(c, pc)
+			if res == nil {
+				e.execErr = fmt.Errorf("guest jumped to untranslatable code at %#x", pc)
+				break
+			}
+			var st codecache.InsertStats
+			idx, st = l1.Insert(pc, res.Code)
+			c.Tick(uint64(st.CopiedWords)*P.L1CopyWordOcc +
+				uint64(st.Patches)*P.L1ChainPatchOcc)
+		}
+		if e.cfg.Trace != nil && traced < traceLimit {
+			fmt.Fprintf(e.cfg.Trace, "%12d dispatch pc=%08x from=%s\n", c.Now(), pc, source)
+			traced++
+			if traced == traceLimit {
+				fmt.Fprintf(e.cfg.Trace, "... trace limit reached\n")
+			}
+		}
+		exit, err := rawexec.Exec(cpu, l1.Arena(), idx, tileClock{c}, env, 0)
+		e.stats.HostInsts += exit.Insts
+		if err != nil {
+			e.execErr = fmt.Errorf("at guest block %#x: %w", pc, err)
+			break
+		}
+		if env.exited {
+			break
+		}
+		pc = exit.NextPC
+		if exit.Interrupted {
+			// A suppressed chained jump: resolve the target block's
+			// guest PC before the L1 flush destroys the mapping.
+			resolved, ok := l1.PCForIndex(exit.ChainIdx)
+			if !ok {
+				e.execErr = fmt.Errorf("unresolvable chain target %d during SMC invalidation", exit.ChainIdx)
+				break
+			}
+			pc = resolved
+		}
+		if env.smcPending {
+			e.smcInvalidate(c, env, l1)
+		}
+		if e.cfg.MaxBlockExecs != 0 && e.stats.BlockDispatches >= e.cfg.MaxBlockExecs {
+			e.execErr = fmt.Errorf("block-dispatch budget exhausted at %#x", pc)
+			break
+		}
+	}
+
+	cpu.StoreGuest(&e.proc.CPU)
+	e.stats.L1CLookups = l1.Lookups
+	e.stats.L1CHits = l1.Hits
+	e.stats.L1CFlushes = l1.Flushes
+	e.stats.Chains = l1.Chains
+	e.stats.DL1Accesses = env.dl1.Accesses
+	e.stats.DL1Misses = env.dl1.Misses
+	e.stopCycles = c.Now()
+	if e.onExit != nil {
+		e.onExit(c)
+	} else {
+		c.Stop()
+	}
+}
+
+// smcInvalidate performs the self-modifying-code invalidation protocol
+// (paper §5: the prototype detects writes to pages containing
+// translated code): flush the local L1 code cache, tell the manager to
+// drop overlapping L2 translations, flush the L1.5 banks, and wait for
+// the acknowledgments.
+func (e *engine) smcInvalidate(c *raw.TileCtx, env *execEnv, l1 *codecache.L1) {
+	e.stats.SMCInvalidations++
+	inval := smcInval{Lo: env.smcLo, Hi: env.smcHi}
+	targets := 1 + len(e.pl.l15)
+	c.Send(e.pl.manager, inval, wordsCtl)
+	for _, bankTile := range e.pl.l15 {
+		c.Send(bankTile, inval, wordsCtl)
+	}
+	for acks := 0; acks < targets; {
+		msg := c.Recv()
+		if _, ok := msg.Payload.(smcAck); ok {
+			acks++
+		}
+	}
+	l1.Flush()
+	env.smcPending = false
+}
+
+// fetchBlock requests a translated block through the code cache
+// hierarchy, blocking until it arrives.
+func (e *engine) fetchBlock(c *raw.TileCtx, pc uint32) *translate.Result {
+	if n := len(e.pl.l15); n > 0 {
+		bank := e.pl.l15[l15BankFor(pc, n)]
+		c.Send(bank, codeReq{PC: pc, ReplyTo: e.pl.exec, FillBank: -1}, wordsCodeReq)
+	} else {
+		c.Send(e.pl.manager, codeReq{PC: pc, ReplyTo: e.pl.exec, FillBank: -1}, wordsCodeReq)
+	}
+	for {
+		msg := c.Recv()
+		if r, ok := msg.Payload.(codeResp); ok {
+			if r.PC != pc {
+				e.execErr = fmt.Errorf("code response for %#x while waiting for %#x", r.PC, pc)
+				return nil
+			}
+			return r.Res
+		}
+		// No other message types target a waiting execution tile.
+	}
+}
+
+// execEnv implements rawexec.Env on the simulated machine: the tile
+// data cache backed by the pipelined MMU → L2-bank memory system.
+type execEnv struct {
+	e      *engine
+	c      *raw.TileCtx
+	dl1    *cachesim.Cache
+	interp *x86interp.Interp
+	memID  uint64
+	exited bool
+
+	// Self-modifying-code detection: a store into a translated code
+	// page sets smcPending and accumulates the dirty byte range; the
+	// dispatch loop performs the invalidation protocol at the next
+	// block boundary.
+	smcPending bool
+	smcLo      uint32
+	smcHi      uint32
+}
+
+// checkSMC detects stores into translated code pages.
+func (v *execEnv) checkSMC(addr uint32, size uint8) {
+	for pg := addr >> 12; pg <= (addr+uint32(size)-1)>>12; pg++ {
+		if v.e.codePages[pg] {
+			if !v.smcPending {
+				v.smcPending = true
+				v.smcLo, v.smcHi = addr, addr+uint32(size)
+			} else {
+				if addr < v.smcLo {
+					v.smcLo = addr
+				}
+				if addr+uint32(size) > v.smcHi {
+					v.smcHi = addr + uint32(size)
+				}
+			}
+			return
+		}
+	}
+}
+
+// touch charges a guest data access: tile D-cache hit or a round trip
+// through the MMU and bank tiles. It returns true on a D-cache hit.
+func (v *execEnv) touch(addr uint32, write bool) bool {
+	P := v.e.cfg.Params
+	if write {
+		v.c.Tick(P.GuestStoreOcc)
+	} else {
+		v.c.Tick(P.GuestL1HitOcc)
+	}
+	res := v.dl1.Access(addr, write)
+	if res.Hit {
+		return true
+	}
+	if res.Writeback {
+		// Posted writeback of the dirty victim; no reply needed.
+		v.c.Send(v.e.pl.mmu, memReq{Addr: res.WritebackOf, Write: true, ReplyTo: -1}, wordsMemReq+8)
+	}
+	// Line fill round trip.
+	v.memID++
+	id := v.memID
+	v.c.Send(v.e.pl.mmu, memReq{Addr: res.LineAddr, Write: false, ReplyTo: v.e.pl.exec, ID: id}, wordsMemReq)
+	for {
+		msg := v.c.Recv()
+		if r, ok := msg.Payload.(memResp); ok && r.ID == id {
+			return false
+		}
+	}
+}
+
+// GuestLoad implements rawexec.Env.
+func (v *execEnv) GuestLoad(addr uint32, size uint8, signed bool) (uint32, uint64) {
+	hit := v.touch(addr, false)
+	val := v.e.proc.Mem.ReadN(addr, size)
+	if signed && size != 4 {
+		shift := 32 - uint(size)*8
+		val = uint32(int32(val<<shift) >> shift)
+	}
+	ready := v.c.Now()
+	if hit {
+		// Latency 6 vs occupancy 4 (Figure 11): the value arrives two
+		// cycles after the issue slot frees.
+		ready += v.e.cfg.Params.GuestL1HitLat - v.e.cfg.Params.GuestL1HitOcc
+	}
+	return val, ready
+}
+
+// GuestStore implements rawexec.Env.
+func (v *execEnv) GuestStore(addr uint32, val uint32, size uint8) {
+	v.touch(addr, true)
+	v.e.proc.Mem.WriteN(addr, val, size)
+	v.checkSMC(addr, size)
+}
+
+// Syscall implements rawexec.Env: proxy to the syscall tile.
+func (v *execEnv) Syscall(cpu *rawexec.CPU) {
+	v.e.stats.Syscalls++
+	var req sysReq
+	copy(req.Regs[:], cpu.R[:10])
+	v.c.Send(v.e.pl.sys, req, wordsSys)
+	for {
+		msg := v.c.Recv()
+		if r, ok := msg.Payload.(sysResp); ok {
+			copy(cpu.R[1:10], r.Regs[1:10])
+			v.exited = r.Exited
+			return
+		}
+	}
+}
+
+// Assist implements rawexec.Env: interpreter fallback on the execution
+// tile, with the instruction's memory traffic routed through the
+// normal guest-memory path so the cache and bank state stay truthful.
+func (v *execEnv) Assist(guestPC uint32, cpu *rawexec.CPU) error {
+	v.e.stats.Assists++
+	v.c.Tick(v.e.cfg.Params.AssistOcc)
+	cpu.StoreGuest(&v.e.proc.CPU)
+	v.e.proc.PC = guestPC
+	v.interp.OnMem = func(addr uint32, size uint8, write bool) {
+		v.touch(addr, write)
+		if write {
+			v.checkSMC(addr, size)
+		}
+	}
+	err := v.interp.Step()
+	v.interp.OnMem = nil
+	if err != nil {
+		return err
+	}
+	cpu.LoadGuest(&v.e.proc.CPU)
+	return nil
+}
+
+// Stopped implements rawexec.Env.
+func (v *execEnv) Stopped() bool { return v.exited }
+
+// Interrupted implements rawexec.Env.
+func (v *execEnv) Interrupted() bool { return v.smcPending }
+
+var _ rawexec.Env = (*execEnv)(nil)

@@ -1,0 +1,431 @@
+package core
+
+import (
+	"tilevm/internal/codecache"
+	"tilevm/internal/raw"
+	"tilevm/internal/translate"
+)
+
+// maxSpecDepth is the deepest speculation bucket; the return-predictor
+// queue sits one level below it.
+const maxSpecDepth = 8
+
+// qEntry tracks one guest PC through the translation pipeline.
+type qEntry struct {
+	depth    int
+	queued   bool
+	inflight bool
+	done     bool
+	bad      bool
+}
+
+// waiter is a demand requester blocked on a translation.
+type waiter struct {
+	replyTo  int
+	fillBank int
+}
+
+// managerState is the manager tile's bookkeeping: the L2 code cache
+// map, the prioritized speculative-translation queues, parked slaves,
+// and the dynamic reconfiguration controller.
+type managerState struct {
+	e  *engine
+	c  *raw.TileCtx
+	l2 *codecache.L2
+
+	entries map[uint32]*qEntry
+	buckets [maxSpecDepth + 2][]uint32 // [0] demand … [maxSpecDepth+1] return-predictor
+	waiters map[uint32][]waiter
+	parked  []int // idle slave tiles
+	roles   map[int]roleKind
+
+	specStored map[uint32]bool // speculatively translated, not yet demanded
+
+	// Morphing state.
+	transHeavy bool
+	lastMorph  uint64
+
+	// Cross-VM lending state (multi-VM mode).
+	helpOut     bool
+	pendingHelp bool
+}
+
+// managerKernel runs the manager/L2-code-cache tile.
+func (e *engine) managerKernel(c *raw.TileCtx) {
+	P := e.cfg.Params
+	st := &managerState{
+		e:          e,
+		c:          c,
+		l2:         codecache.NewL2(P.L2CodeBytes),
+		entries:    map[uint32]*qEntry{},
+		waiters:    map[uint32][]waiter{},
+		roles:      map[int]roleKind{},
+		specStored: map[uint32]bool{},
+	}
+	for _, t := range e.pl.slaves {
+		st.roles[t] = roleSlave
+	}
+	for _, t := range e.pl.banks {
+		st.roles[t] = roleBank
+	}
+	// Morphing starts in the translation-heavy configuration (§2.3).
+	st.transHeavy = e.cfg.Morph
+	e.mgr = st
+
+	for {
+		msg := c.Recv()
+		switch m := msg.Payload.(type) {
+		case codeReq:
+			st.handleCodeReq(m)
+		case workReq:
+			st.handleWorkReq(msg.From)
+		case transDone:
+			st.handleTransDone(m)
+		case smcInval:
+			st.handleSMCInval(m, msg.From)
+		case lendSlave:
+			// A borrowed (or returning) slave joins the parked pool.
+			st.helpOut = false
+			st.parked = append(st.parked, m.Slave)
+			st.dispatch()
+		case lendReturn:
+			st.parked = append(st.parked, m.Slave)
+			st.dispatch()
+		case helpReq:
+			st.handleHelp()
+		}
+	}
+}
+
+// handleHelp services the peer's request for a slave: immediately if
+// one is parked and the local queues are drained, otherwise as soon as
+// that becomes true.
+func (st *managerState) handleHelp() {
+	if len(st.parked) > 0 && st.queuedLen() == 0 {
+		slave := st.parked[len(st.parked)-1]
+		st.parked = st.parked[:len(st.parked)-1]
+		st.c.Send(st.e.peerMgr, lendSlave{Slave: slave}, wordsCtl)
+		return
+	}
+	st.pendingHelp = true
+}
+
+// handleSMCInval drops translations overlapping an overwritten byte
+// range (self-modifying code) and resets their pipeline state so the
+// new bytes are retranslated on demand.
+func (st *managerState) handleSMCInval(m smcInval, from int) {
+	P := st.e.cfg.Params
+	st.c.Tick(P.L2CLookupOcc) // page-map walk in the manager's tables
+	st.e.smcGen++
+	for pg := m.Lo >> 12; pg <= (m.Hi-1)>>12; pg++ {
+		st.e.pageInval[pg] = st.e.smcGen
+	}
+	removed := st.l2.RemoveOverlapping(m.Lo&^0xfff, (m.Hi+0xfff)&^0xfff)
+	st.c.Tick(uint64(len(removed)) * P.L2CStoreOcc / 4) // directory updates
+	for _, pc := range removed {
+		delete(st.entries, pc)
+		delete(st.specStored, pc)
+	}
+	st.c.Send(from, smcAck{}, wordsCtl)
+}
+
+func (st *managerState) entry(pc uint32) *qEntry {
+	en, ok := st.entries[pc]
+	if !ok {
+		en = &qEntry{}
+		st.entries[pc] = en
+	}
+	return en
+}
+
+// handleCodeReq services a demand request from the execution tile (or
+// an L1.5 bank forwarding one).
+func (st *managerState) handleCodeReq(m codeReq) {
+	P := st.e.cfg.Params
+	st.c.Tick(P.L2CLookupOcc)
+	if res, ok := st.l2.Lookup(m.PC); ok {
+		words := res.CodeBytes / 4
+		st.c.Tick(uint64(words) * P.L2CWordOcc) // DRAM read traffic
+		st.respond(m, res)
+		delete(st.specStored, m.PC)
+		return
+	}
+	// Miss: the execution tile stalls until a slave translates it.
+	st.e.stats.DemandMisses++
+	en := st.entry(m.PC)
+	if en.bad {
+		st.c.Send(m.ReplyTo, codeResp{PC: m.PC, Res: nil}, wordsCtl)
+		return
+	}
+	st.waiters[m.PC] = append(st.waiters[m.PC], waiter{m.ReplyTo, m.FillBank})
+	if !en.inflight {
+		st.push(m.PC, 0)
+	}
+	st.dispatch()
+	st.morphEval()
+}
+
+// respond delivers a block to the requester and fills the forwarding
+// L1.5 bank.
+func (st *managerState) respond(m codeReq, res *translate.Result) {
+	words := res.CodeBytes / 4
+	st.c.Send(m.ReplyTo, codeResp{PC: m.PC, Res: res}, words)
+	if m.FillBank >= 0 {
+		st.c.Send(m.FillBank, fill{PC: m.PC, Res: res}, words)
+	}
+}
+
+// push enqueues a translation request at the given priority bucket
+// (lower = more urgent). Re-pushing at a more urgent depth re-files the
+// entry.
+func (st *managerState) push(pc uint32, depth int) {
+	if st.e.cfg.FIFOSpec && depth > 0 {
+		depth = 1 // ablation: single speculative FIFO
+	}
+	if depth > maxSpecDepth+1 {
+		depth = maxSpecDepth + 1
+	}
+	en := st.entry(pc)
+	if en.done || en.bad || en.inflight {
+		return
+	}
+	if en.queued && en.depth <= depth {
+		return
+	}
+	en.depth = depth
+	en.queued = true
+	st.buckets[depth] = append(st.buckets[depth], pc)
+}
+
+// pop removes the most urgent queued translation.
+func (st *managerState) pop() (uint32, int, bool) {
+	for d := range st.buckets {
+		for len(st.buckets[d]) > 0 {
+			pc := st.buckets[d][0]
+			st.buckets[d] = st.buckets[d][1:]
+			en := st.entry(pc)
+			if !en.queued || en.depth != d || en.inflight || en.done || en.bad {
+				continue // stale entry superseded by a re-push
+			}
+			return pc, d, true
+		}
+	}
+	return 0, 0, false
+}
+
+// queuedLen counts live queued work (the morphing metric: the length of
+// the "blocks to be translated" queues).
+func (st *managerState) queuedLen() int {
+	n := 0
+	for d := range st.buckets {
+		for _, pc := range st.buckets[d] {
+			en := st.entry(pc)
+			if en.queued && en.depth == d && !en.inflight && !en.done && !en.bad {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// handleWorkReq parks an idle slave or hands it work.
+func (st *managerState) handleWorkReq(slave int) {
+	if st.roles[slave] != roleSlave {
+		return // reconfigured while the request was in flight
+	}
+	st.c.Tick(st.e.cfg.Params.TransRequestOcc)
+	st.parked = append(st.parked, slave)
+	st.dispatch()
+}
+
+// dispatch pairs parked slaves with queued work, then applies the
+// cross-VM lending policy: surplus idle slaves flow to the peer, and a
+// starved manager asks the peer for help.
+func (st *managerState) dispatch() {
+	for len(st.parked) > 0 {
+		pc, depth, ok := st.pop()
+		if !ok {
+			break
+		}
+		slave := st.parked[0]
+		st.parked = st.parked[1:]
+		en := st.entry(pc)
+		en.queued = false
+		en.inflight = true
+		st.c.Send(slave, st.workFor(pc, depth), wordsCtl)
+	}
+	if !st.e.lend || st.e.peerMgr < 0 {
+		return
+	}
+	// Lending is strictly request-driven (no unsolicited pushes, so two
+	// idle managers exchange no traffic): satisfy a deferred help
+	// request when capacity frees up, and ask for help when starved.
+	switch {
+	case st.pendingHelp && len(st.parked) > 0 && st.queuedLen() == 0:
+		slave := st.parked[len(st.parked)-1]
+		st.parked = st.parked[:len(st.parked)-1]
+		st.pendingHelp = false
+		st.c.Send(st.e.peerMgr, lendSlave{Slave: slave}, wordsCtl)
+	case len(st.parked) == 0 && st.queuedLen() > 0 && !st.helpOut:
+		st.c.Send(st.e.peerMgr, helpReq{}, wordsCtl)
+		st.helpOut = true
+	}
+}
+
+// workFor builds a work unit carrying this VM's translation context.
+func (st *managerState) workFor(pc uint32, depth int) work {
+	return work{
+		PC: pc, Depth: depth, Gen: st.e.smcGen,
+		Translator: st.e.tr, Mem: st.e.proc.Mem, Optimize: st.e.cfg.Optimize,
+	}
+}
+
+// staleSMC reports whether a finished translation read bytes that were
+// overwritten after the work was dispatched.
+func (st *managerState) staleSMC(m transDone) bool {
+	if m.Res == nil || m.Gen == st.e.smcGen {
+		return false
+	}
+	lo := m.Res.GuestAddr
+	hi := lo + m.Res.GuestLen
+	for pg := lo >> 12; pg <= (hi-1)>>12; pg++ {
+		if g, ok := st.e.pageInval[pg]; ok && g > m.Gen {
+			return true
+		}
+	}
+	return false
+}
+
+// handleTransDone stores a finished translation, wakes demand waiters,
+// and enqueues speculative successors.
+func (st *managerState) handleTransDone(m transDone) {
+	P := st.e.cfg.Params
+	en := st.entry(m.PC)
+	en.inflight = false
+	st.e.stats.Translations++
+	if st.staleSMC(m) {
+		// Translated from overwritten bytes: discard. A pending demand
+		// waiter re-queues at demand priority; speculative results are
+		// simply dropped.
+		if _, waiting := st.waiters[m.PC]; waiting {
+			st.push(m.PC, 0)
+			st.dispatch()
+		}
+		return
+	}
+	if m.Res == nil {
+		en.bad = true
+		for _, w := range st.waiters[m.PC] {
+			st.c.Send(w.replyTo, codeResp{PC: m.PC, Res: nil}, wordsCtl)
+		}
+		delete(st.waiters, m.PC)
+		st.dispatch()
+		return
+	}
+	en.done = true
+	st.e.stats.TransGuestInsts += uint64(m.Res.NumGuest)
+	words := m.Res.CodeBytes / 4
+	st.c.Tick(P.L2CStoreOcc + uint64(words)*P.L2CWordOcc)
+	st.l2.Insert(m.PC, m.Res)
+	st.e.stats.L2CStores++
+	for pg := m.Res.GuestAddr >> 12; pg <= (m.Res.GuestAddr+m.Res.GuestLen-1)>>12; pg++ {
+		st.e.codePages[pg] = true
+	}
+
+	if ws, ok := st.waiters[m.PC]; ok {
+		for _, w := range ws {
+			st.respond(codeReq{PC: m.PC, ReplyTo: w.replyTo, FillBank: w.fillBank}, m.Res)
+		}
+		delete(st.waiters, m.PC)
+	} else if m.Depth > 0 {
+		st.specStored[m.PC] = true
+	}
+
+	if st.e.cfg.Speculative {
+		st.enqueueSuccessors(m.Res, m.Depth)
+	}
+	st.dispatch()
+	st.morphEval()
+}
+
+// enqueueSuccessors implements speculative parallel translation's
+// traversal policy (§2.1): follow direct control flow with static
+// branch prediction (backward branches predicted taken), put call
+// return sites on the low-priority return-predictor queue, and stop at
+// unresolvable indirect jumps.
+func (st *managerState) enqueueSuccessors(res *translate.Result, depth int) {
+	switch res.Kind {
+	case translate.ExitFall:
+		st.push(res.Target, depth+1)
+	case translate.ExitBranch:
+		if res.BackwardTaken {
+			st.push(res.Target, depth+1)
+			st.push(res.FallTarget, depth+2)
+		} else {
+			st.push(res.FallTarget, depth+1)
+			st.push(res.Target, depth+2)
+		}
+	case translate.ExitCall:
+		st.push(res.Target, depth+1)
+		if !st.e.cfg.NoReturnPredictor {
+			st.push(res.FallTarget, maxSpecDepth+1) // return predictor
+		}
+	case translate.ExitIndirect:
+		if res.FallTarget != 0 && !st.e.cfg.NoReturnPredictor {
+			st.push(res.FallTarget, maxSpecDepth+1)
+		}
+	case translate.ExitRet:
+		// Successor comes through the return predictor at call time.
+	}
+}
+
+// morphEval is the dynamic reconfiguration controller: it inspects the
+// translation queues and trades L2 data cache tiles for translation
+// tiles (§2.3, §4.4).
+func (st *managerState) morphEval() {
+	cfg := &st.e.cfg
+	if !cfg.Morph {
+		return
+	}
+	now := st.c.Now()
+	if now-st.lastMorph < cfg.MorphMinInterval {
+		return
+	}
+	wantTrans := st.queuedLen() > cfg.MorphThreshold
+	if wantTrans == st.transHeavy {
+		return
+	}
+	st.transHeavy = wantTrans
+	st.lastMorph = now
+	st.e.stats.Reconfigs++
+
+	newRole := roleBank
+	if wantTrans {
+		newRole = roleSlave
+	}
+	perm := st.e.pl.banks[0]
+	for _, t := range st.e.pl.switchable {
+		st.roles[t] = newRole
+		st.c.Send(t, reconfig{Role: newRole}, wordsCtl)
+	}
+	// The permanent bank must flush too: the interleave function
+	// changes with the bank count.
+	st.c.Send(perm, reconfig{Role: roleBank}, wordsCtl)
+
+	banks := []int{perm}
+	if !wantTrans {
+		for i := len(st.e.pl.switchable) - 1; i >= 0; i-- {
+			banks = append(banks, st.e.pl.switchable[i])
+		}
+	}
+	st.c.Send(st.e.pl.mmu, rebank{Banks: banks}, wordsCtl)
+
+	// Remove reconfigured tiles from the parked pool.
+	kept := st.parked[:0]
+	for _, s := range st.parked {
+		if st.roles[s] == roleSlave {
+			kept = append(kept, s)
+		}
+	}
+	st.parked = kept
+}

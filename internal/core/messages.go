@@ -1,0 +1,148 @@
+package core
+
+import "tilevm/internal/translate"
+
+// Message payloads exchanged on the dynamic network between tile
+// kernels. Sizes (in words) are charged at the sending side; the
+// constants below approximate the prototype's message formats.
+
+// codeReq asks for the translated block at PC. ReplyTo is the tile the
+// block should be delivered to (the execution tile); FillBank, if ≥ 0,
+// is the L1.5 bank the manager should also fill on the way back.
+type codeReq struct {
+	PC       uint32
+	ReplyTo  int
+	FillBank int
+}
+
+// codeResp delivers a translated block (nil if the address is
+// untranslatable — the guest jumped to garbage).
+type codeResp struct {
+	PC  uint32
+	Res *translate.Result
+}
+
+// fill populates an L1.5 bank in the background.
+type fill struct {
+	PC  uint32
+	Res *translate.Result
+}
+
+// workReq is a translation slave asking the manager for work.
+type workReq struct{}
+
+// work assigns a translation unit to a slave. Gen snapshots the
+// self-modifying-code generation at dispatch so results translated
+// from since-overwritten bytes can be discarded. The translator and
+// guest memory ride along so a slave lent across virtual machines
+// (multi-VM mode, paper §5) translates the requesting VM's code; the
+// result goes back to the dispatching manager (the message source).
+type work struct {
+	PC         uint32
+	Depth      int
+	Gen        uint64
+	Translator *translate.Translator
+	Mem        translate.CodeReader
+	Optimize   bool
+}
+
+// transDone returns a completed translation (Res nil on decode
+// failure).
+type transDone struct {
+	PC    uint32
+	Depth int
+	Gen   uint64
+	Res   *translate.Result
+}
+
+// smcInval announces a guest store into translated code (self-
+// modifying code): the receiver drops translations overlapping the
+// byte range [Lo, Hi) — the manager surgically, L1.5 banks wholesale —
+// and acknowledges with smcAck.
+type smcInval struct {
+	Lo, Hi uint32
+}
+
+// smcAck acknowledges an smcInval.
+type smcAck struct{}
+
+// lendSlave transfers an idle translation slave tile to the peer VM's
+// manager (multi-VM mode); the peer dispatches its own work to it.
+type lendSlave struct {
+	Slave int
+}
+
+// lendReturn hands a borrowed slave back to its home manager (which
+// parks it without immediately re-lending, avoiding ping-pong).
+type lendReturn struct {
+	Slave int
+}
+
+// helpReq asks the peer manager for a slave when the local queues are
+// backed up and every local slave is busy or lent out.
+type helpReq struct{}
+
+// memReq is a guest data-memory request from the execution tile to the
+// MMU tile. Write requests are posted (no reply needed functionally)
+// but the execution tile still waits for acknowledgment on line fills.
+type memReq struct {
+	Addr    uint32
+	Write   bool
+	ReplyTo int // -1 for posted writebacks
+	ID      uint64
+}
+
+// memFwd is the MMU-translated request forwarded to a data bank.
+type memFwd struct {
+	PAddr   uint32
+	Write   bool
+	ReplyTo int
+	ID      uint64
+}
+
+// memResp acknowledges a serviced memory request.
+type memResp struct {
+	ID uint64
+}
+
+// sysReq proxies a guest syscall: the pinned registers r1..r9
+// (EAX..EDI + EFLAGS) by host index.
+type sysReq struct {
+	Regs [10]uint32
+}
+
+// sysResp returns the updated registers and exit status.
+type sysResp struct {
+	Regs   [10]uint32
+	Exited bool
+}
+
+// roleKind is a switchable tile's current function.
+type roleKind uint8
+
+const (
+	roleSlave roleKind = iota
+	roleBank
+)
+
+// reconfig retargets a switchable tile (dynamic virtual architecture
+// reconfiguration). BankIndex is the tile's position in the new bank
+// interleave when becoming a bank.
+type reconfig struct {
+	Role roleKind
+}
+
+// rebank tells the MMU tile the new data-bank set, in interleave
+// order.
+type rebank struct {
+	Banks []int
+}
+
+// Approximate message sizes in words for network charging.
+const (
+	wordsCodeReq = 2
+	wordsMemReq  = 2
+	wordsMemResp = 1
+	wordsSys     = 10
+	wordsCtl     = 2
+)

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"tilevm/internal/guest"
+	"tilevm/internal/workload"
+	"tilevm/internal/x86interp"
+)
+
+// pairCfg is the shared-fabric configuration for multi-VM tests.
+func pairCfg() Config {
+	cfg := DefaultConfig()
+	cfg.MaxCycles = 2_000_000_000
+	return cfg
+}
+
+// checkGuest verifies one guest's results against its reference run.
+func checkGuest(t *testing.T, label string, res *Result, img *guest.Image) {
+	t.Helper()
+	ref := guest.Load(img)
+	if exited, err := x86interp.New(ref).Run(50_000_000); err != nil || !exited {
+		t.Fatalf("%s reference: %v exited=%v", label, err, exited)
+	}
+	if res.ExitCode != ref.Kern.ExitCode {
+		t.Errorf("%s exit code %d, want %d", label, res.ExitCode, ref.Kern.ExitCode)
+	}
+	if res.Stdout != ref.Kern.Stdout.String() {
+		t.Errorf("%s stdout mismatch", label)
+	}
+}
+
+func TestMultiVMBothGuestsCorrect(t *testing.T) {
+	pa, _ := workload.ByName("164.gzip")
+	pb, _ := workload.ByName("181.mcf")
+	a, b := pa.Build(), pb.Build()
+	for _, lend := range []bool{false, true} {
+		res, err := RunPair(a, b, pairCfg(), lend)
+		if err != nil {
+			t.Fatalf("lend=%v: %v", lend, err)
+		}
+		checkGuest(t, "A", res.A, a)
+		checkGuest(t, "B", res.B, b)
+		if res.Makespan == 0 || res.Makespan < res.A.Cycles || res.Makespan < res.B.Cycles {
+			t.Errorf("lend=%v: makespan %d inconsistent (%d, %d)",
+				lend, res.Makespan, res.A.Cycles, res.B.Cycles)
+		}
+	}
+}
+
+func TestMultiVMLendingHelpsAsymmetricPair(t *testing.T) {
+	// Guest A is tiny (exits quickly); guest B is translation-bound.
+	// With lending, A's slaves join B after A exits (and whenever A's
+	// queues are empty), so B must finish sooner.
+	pa, _ := workload.ByName("164.gzip")
+	pb, _ := workload.ByName("176.gcc")
+	a, b := pa.Build(), pb.Build()
+
+	noLend, err := RunPair(a, b, pairCfg(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lend, err := RunPair(a, b, pairCfg(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGuest(t, "B/nolend", noLend.B, b)
+	checkGuest(t, "B/lend", lend.B, b)
+	t.Logf("B (gcc) cycles: no lending %d, lending %d (%.1f%% faster)",
+		noLend.B.Cycles, lend.B.Cycles,
+		100*(1-float64(lend.B.Cycles)/float64(noLend.B.Cycles)))
+	if lend.B.Cycles >= noLend.B.Cycles {
+		t.Errorf("lending did not speed up the translation-bound guest: %d vs %d",
+			lend.B.Cycles, noLend.B.Cycles)
+	}
+}
+
+func TestMultiVMDisjointPlacement(t *testing.T) {
+	a, b := pairPlacements()
+	seen := map[int]bool{}
+	add := func(ts ...int) {
+		for _, tile := range ts {
+			if seen[tile] {
+				t.Fatalf("tile %d assigned twice", tile)
+			}
+			seen[tile] = true
+		}
+	}
+	for _, pl := range []placement{a, b} {
+		add(pl.sys, pl.exec, pl.manager, pl.mmu)
+		add(pl.l15...)
+		add(pl.slaves...)
+		add(pl.banks...)
+	}
+	if len(seen) != 16 {
+		t.Errorf("placements cover %d tiles, want 16", len(seen))
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"tilevm/internal/codecache"
+	"tilevm/internal/dcache"
+	"tilevm/internal/mmu"
+	"tilevm/internal/raw"
+)
+
+// workerBody returns the kernel for a slave/bank tile. Every worker can
+// perform either function (the homogeneity requirement of §2.3);
+// reconfig messages switch the role at runtime. A tile that receives a
+// memory request while in the slave role (a transient during
+// reconfiguration) still services it correctly — the flushed cache just
+// misses.
+func (e *engine) workerBody(initial roleKind) func(*raw.TileCtx) {
+	return func(c *raw.TileCtx) {
+		P := e.cfg.Params
+		role := initial
+		bank := dcache.NewBank(P.L2DBankBytes, P.L2DWays, P.L2DLine)
+		if role == roleSlave {
+			c.Send(e.pl.manager, workReq{}, wordsCtl)
+		}
+		for {
+			msg := c.Recv()
+			switch m := msg.Payload.(type) {
+			case work:
+				e.doTranslate(c, m, msg.From)
+				if role == roleSlave {
+					c.Send(e.pl.manager, workReq{}, wordsCtl)
+				}
+
+			case reconfig:
+				// Flush on every role change (and on rebank-triggered
+				// flushes of the permanent bank): the interleave
+				// function or the tile's function changed.
+				d := bank.Flush()
+				e.stats.MorphFlushLines += uint64(d)
+				c.Tick(P.MorphFixed + uint64(d)*P.MorphPerLine)
+				prev := role
+				role = m.Role
+				if role == roleSlave && prev != roleSlave {
+					c.Send(e.pl.manager, workReq{}, wordsCtl)
+				}
+
+			case memFwd:
+				c.Tick(P.BankLookupOcc)
+				e.stats.L2DRequests++
+				miss, wb := bank.Access(m.PAddr, m.Write)
+				if miss {
+					e.stats.L2DMisses++
+					c.Tick(P.DRAMLat + P.BankLineFill)
+				}
+				if wb {
+					c.Tick(P.BankLineFill)
+				}
+				if m.ReplyTo >= 0 {
+					c.Send(m.ReplyTo, memResp{ID: m.ID}, wordsMemResp)
+				}
+			}
+		}
+	}
+}
+
+// doTranslate performs one translation unit on a slave tile, charging
+// the modeled decode/IR/codegen occupancy, and reports the result.
+func (e *engine) doTranslate(c *raw.TileCtx, m work, replyTo int) {
+	P := e.cfg.Params
+	res, err := m.Translator.TranslateFinal(m.Mem, m.PC)
+	if err != nil {
+		c.Tick(P.TransBaseOcc)
+		c.Send(replyTo, transDone{PC: m.PC, Depth: m.Depth, Gen: m.Gen, Res: nil}, wordsCtl)
+		return
+	}
+	cost := uint64(res.GuestLen)*P.TransFetchOcc + uint64(res.NumGuest)*P.TransBaseOcc
+	if m.Optimize {
+		cost += uint64(res.NumGuest) * P.TransOptOcc
+	}
+	c.Tick(cost)
+	c.Send(replyTo, transDone{PC: m.PC, Depth: m.Depth, Gen: m.Gen, Res: res}, res.CodeBytes/4)
+}
+
+// l15Kernel runs one bank of the L1.5 code cache.
+func (e *engine) l15Kernel(c *raw.TileCtx) {
+	P := e.cfg.Params
+	bank := codecache.NewL15(P.L15BankBytes)
+	for {
+		msg := c.Recv()
+		switch m := msg.Payload.(type) {
+		case codeReq:
+			c.Tick(P.L15LookupOcc)
+			e.stats.L15Lookups++
+			if res, ok := bank.Lookup(m.PC); ok {
+				e.stats.L15Hits++
+				words := res.CodeBytes / 4
+				c.Tick(uint64(words) * P.L15WordOcc)
+				c.Send(m.ReplyTo, codeResp{PC: m.PC, Res: res}, words)
+				continue
+			}
+			m.FillBank = c.Tile
+			c.Send(e.pl.manager, m, wordsCodeReq)
+		case fill:
+			c.Tick(uint64(m.Res.CodeBytes/4) * P.L15WordOcc)
+			bank.Insert(m.PC, m.Res)
+		case smcInval:
+			// Coarse invalidation: drop the whole bank.
+			c.Tick(P.L15LookupOcc)
+			bank.Flush()
+			c.Send(msg.From, smcAck{}, wordsCtl)
+		}
+	}
+}
+
+// mmuKernel runs the MMU/TLB tile: the first stage of the pipelined
+// memory system (Figure 2). It translates guest virtual addresses and
+// forwards requests to the bank that owns the physical line.
+func (e *engine) mmuKernel(c *raw.TileCtx) {
+	P := e.cfg.Params
+	m := mmu.New(P.TLBEntries)
+	banks := append([]int(nil), e.pl.banks...)
+	for {
+		msg := c.Recv()
+		switch req := msg.Payload.(type) {
+		case memReq:
+			c.Tick(P.MMULookupOcc)
+			paddr, miss := m.Translate(req.Addr)
+			if miss {
+				c.Tick(P.TLBMissOcc)
+				e.stats.TLBMisses++
+			}
+			b := banks[dcache.BankFor(paddr, P.L2DLine, len(banks))]
+			local := dcache.LocalAddr(paddr, P.L2DLine, len(banks))
+			c.Send(b, memFwd{PAddr: local, Write: req.Write, ReplyTo: req.ReplyTo, ID: req.ID}, wordsMemReq)
+		case rebank:
+			banks = append(banks[:0], req.Banks...)
+		}
+	}
+}
+
+// sysKernel runs the syscall proxy tile.
+func (e *engine) sysKernel(c *raw.TileCtx) {
+	P := e.cfg.Params
+	for {
+		msg := c.Recv()
+		req, ok := msg.Payload.(sysReq)
+		if !ok {
+			continue
+		}
+		c.Tick(P.SyscallOcc)
+		var regs [8]uint32
+		for i := 0; i < 8; i++ {
+			regs[i] = req.Regs[1+i]
+		}
+		e.proc.Kern.Syscall(e.proc.Mem, &regs)
+		var resp sysResp
+		resp.Regs = req.Regs
+		for i := 0; i < 8; i++ {
+			resp.Regs[1+i] = regs[i]
+		}
+		resp.Exited = e.proc.Kern.Exited
+		c.Send(msg.From, resp, wordsSys)
+	}
+}

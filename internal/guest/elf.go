@@ -1,0 +1,99 @@
+package guest
+
+import (
+	"debug/elf"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ELF loading. The paper's prototype runs "arbitrary, unmodified,
+// userland statically-linked Linux x86 binaries"; this loader maps a
+// static ELF32 i386 executable's PT_LOAD segments into an Image so the
+// same binaries can be fed to the translator. Dynamic executables and
+// interpreters are rejected (as in the prototype).
+
+// LoadELF parses a statically linked ELF32 i386 executable.
+func LoadELF(r io.ReaderAt) (*Image, error) {
+	f, err := elf.NewFile(r)
+	if err != nil {
+		return nil, fmt.Errorf("guest: not an ELF executable: %w", err)
+	}
+	defer f.Close()
+
+	switch {
+	case f.Class != elf.ELFCLASS32:
+		return nil, fmt.Errorf("guest: ELF class %v not supported (need ELF32)", f.Class)
+	case f.Machine != elf.EM_386:
+		return nil, fmt.Errorf("guest: ELF machine %v not supported (need EM_386)", f.Machine)
+	case f.Data != elf.ELFDATA2LSB:
+		return nil, fmt.Errorf("guest: big-endian ELF not supported")
+	case f.Type != elf.ET_EXEC:
+		return nil, fmt.Errorf("guest: ELF type %v not supported (need ET_EXEC; PIE/dynamic executables are not)", f.Type)
+	}
+
+	img := &Image{Entry: uint32(f.Entry)}
+	var maxEnd uint32
+	loads := 0
+	for _, p := range f.Progs {
+		switch p.Type {
+		case elf.PT_INTERP, elf.PT_DYNAMIC:
+			return nil, fmt.Errorf("guest: dynamically linked executables are not supported")
+		case elf.PT_LOAD:
+		default:
+			continue
+		}
+		loads++
+		data := make([]byte, p.Filesz)
+		if _, err := io.ReadFull(p.Open(), data); err != nil {
+			return nil, fmt.Errorf("guest: reading segment at %#x: %w", p.Vaddr, err)
+		}
+		// BSS (Memsz > Filesz) needs no explicit zero fill: unmapped
+		// guest memory reads as zero.
+		addr := uint32(p.Vaddr)
+		img.Segments = append(img.Segments, Segment{Addr: addr, Data: data})
+		if end := addr + uint32(p.Memsz); end > maxEnd {
+			maxEnd = end
+		}
+		// The executable segment doubles as the code region.
+		if p.Flags&elf.PF_X != 0 && img.Code == nil {
+			img.CodeBase = addr
+			img.Code = data
+		}
+	}
+	if loads == 0 {
+		return nil, fmt.Errorf("guest: no PT_LOAD segments")
+	}
+	if img.Code == nil {
+		return nil, fmt.Errorf("guest: no executable segment")
+	}
+	// Program break starts just past the highest load, page aligned.
+	img.HeapBase = (maxEnd + 0xfff) &^ 0xfff
+
+	// Code appears both in img.Code (decoder window base) and as a
+	// segment; drop the duplicate segment to avoid double mapping.
+	segs := img.Segments[:0]
+	for _, s := range img.Segments {
+		if s.Addr == img.CodeBase {
+			continue
+		}
+		segs = append(segs, s)
+	}
+	img.Segments = segs
+	return img, nil
+}
+
+// LoadELFFile loads an ELF executable from disk.
+func LoadELFFile(path string) (*Image, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	img, err := LoadELF(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	img.Name = path
+	return img, nil
+}

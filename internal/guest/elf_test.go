@@ -1,0 +1,119 @@
+package guest
+
+import (
+	"bytes"
+	"testing"
+)
+
+// testImage builds a small image with code and a data segment.
+func testImage() *Image {
+	return &Image{
+		Name:     "elf-test",
+		Entry:    DefaultCodeBase,
+		CodeBase: DefaultCodeBase,
+		// mov eax,1; mov ebx,42; int 0x80
+		Code:     []byte{0xB8, 1, 0, 0, 0, 0xBB, 42, 0, 0, 0, 0xCD, 0x80},
+		Segments: []Segment{{Addr: 0x0a000000, Data: []byte{1, 2, 3, 4}}},
+	}
+}
+
+func TestELFRoundTrip(t *testing.T) {
+	img := testImage()
+	var buf bytes.Buffer
+	if err := WriteELF(img, &buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadELF(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Entry != img.Entry || back.CodeBase != img.CodeBase {
+		t.Errorf("entry/codebase: %#x/%#x, want %#x/%#x",
+			back.Entry, back.CodeBase, img.Entry, img.CodeBase)
+	}
+	if !bytes.Equal(back.Code, img.Code) {
+		t.Errorf("code round trip failed")
+	}
+	if len(back.Segments) != 1 || back.Segments[0].Addr != 0x0a000000 ||
+		!bytes.Equal(back.Segments[0].Data, img.Segments[0].Data) {
+		t.Errorf("data segment round trip failed: %+v", back.Segments)
+	}
+	if back.HeapBase == 0 || back.HeapBase < 0x0a000004 {
+		t.Errorf("heap base %#x", back.HeapBase)
+	}
+}
+
+func TestELFMagicAndHeader(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteELF(testImage(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if string(b[:4]) != "\x7fELF" {
+		t.Fatalf("bad magic % x", b[:4])
+	}
+	if b[4] != 1 || b[5] != 1 {
+		t.Error("not ELF32 LSB")
+	}
+	// e_type=2 (EXEC), e_machine=3 (386)
+	if b[16] != 2 || b[18] != 3 {
+		t.Errorf("type/machine: %d/%d", b[16], b[18])
+	}
+}
+
+func TestELFRejectsGarbage(t *testing.T) {
+	if _, err := LoadELF(bytes.NewReader([]byte("not an elf at all..."))); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestELFSegmentAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteELF(testImage(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadELF(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loading the image into memory must place bytes where the run
+	// expects them.
+	p := Load(back)
+	if p.Mem.Read8(DefaultCodeBase) != 0xB8 {
+		t.Error("code not at expected address")
+	}
+	if p.Mem.Read8(0x0a000003) != 4 {
+		t.Error("data not at expected address")
+	}
+}
+
+func TestImageFileRoundTrip(t *testing.T) {
+	img := testImage()
+	var buf bytes.Buffer
+	if _, err := img.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadImage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != img.Name || back.Entry != img.Entry ||
+		!bytes.Equal(back.Code, img.Code) ||
+		len(back.Segments) != 1 || !bytes.Equal(back.Segments[0].Data, img.Segments[0].Data) {
+		t.Errorf("round trip mismatch: %+v", back)
+	}
+}
+
+func TestImageFileRejectsTruncation(t *testing.T) {
+	img := testImage()
+	var buf bytes.Buffer
+	if _, err := img.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, n := range []int{0, 3, 8, len(full) / 2, len(full) - 1} {
+		if _, err := ReadImage(bytes.NewReader(full[:n])); err == nil {
+			t.Errorf("truncated image (%d bytes) accepted", n)
+		}
+	}
+}

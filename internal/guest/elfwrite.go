@@ -1,0 +1,108 @@
+package guest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"os"
+)
+
+// WriteELF serializes an Image as a statically linked ELF32 i386
+// executable. The synthetic workloads use only genuine Linux int-0x80
+// syscalls, so the emitted binaries are real programs: they can be fed
+// back through LoadELF, and would run under a 32-bit Linux kernel.
+func WriteELF(img *Image, w io.Writer) error {
+	const (
+		ehSize = 52
+		phSize = 32
+	)
+	type seg struct {
+		vaddr uint32
+		data  []byte
+		flags uint32
+	}
+	segs := []seg{{img.CodeBase, img.Code, 5 /* R+X */}}
+	for _, s := range img.Segments {
+		segs = append(segs, seg{s.Addr, s.Data, 6 /* R+W */})
+	}
+
+	phoff := uint32(ehSize)
+	dataOff := phoff + uint32(len(segs))*phSize
+	// Align each segment's file offset to its vaddr modulo 4096, as
+	// loaders expect for mmap-style mapping.
+	offs := make([]uint32, len(segs))
+	cur := dataOff
+	for i, s := range segs {
+		align := (s.vaddr - cur) & 0xfff
+		cur += align
+		offs[i] = cur
+		cur += uint32(len(s.data))
+	}
+
+	var buf bytes.Buffer
+	le := binary.LittleEndian
+	w32 := func(v uint32) { _ = binary.Write(&buf, le, v) }
+	w16 := func(v uint16) { _ = binary.Write(&buf, le, v) }
+
+	// ELF header.
+	buf.Write([]byte{0x7f, 'E', 'L', 'F', 1 /*32-bit*/, 1 /*LSB*/, 1 /*version*/, 0})
+	buf.Write(make([]byte, 8)) // padding
+	w16(2)                     // ET_EXEC
+	w16(3)                     // EM_386
+	w32(1)                     // EV_CURRENT
+	w32(img.Entry)
+	w32(phoff)
+	w32(0) // shoff: no sections
+	w32(0) // flags
+	w16(ehSize)
+	w16(phSize)
+	w16(uint16(len(segs)))
+	w16(0) // shentsize
+	w16(0) // shnum
+	w16(0) // shstrndx
+
+	// Program headers.
+	for i, s := range segs {
+		w32(1) // PT_LOAD
+		w32(offs[i])
+		w32(s.vaddr)
+		w32(s.vaddr)
+		w32(uint32(len(s.data)))
+		w32(uint32(len(s.data)))
+		w32(s.flags)
+		w32(0x1000)
+	}
+
+	// Segment payloads with alignment gaps.
+	out := buf.Bytes()
+	if _, err := w.Write(out); err != nil {
+		return err
+	}
+	cur = dataOff
+	for i, s := range segs {
+		if gap := offs[i] - cur; gap > 0 {
+			if _, err := w.Write(make([]byte, gap)); err != nil {
+				return err
+			}
+			cur += gap
+		}
+		if _, err := w.Write(s.data); err != nil {
+			return err
+		}
+		cur += uint32(len(s.data))
+	}
+	return nil
+}
+
+// SaveELF writes the image to an ELF executable file.
+func SaveELF(img *Image, path string) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o755)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := WriteELF(img, f); err != nil {
+		return err
+	}
+	return f.Close()
+}

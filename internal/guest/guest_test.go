@@ -1,0 +1,189 @@
+package guest
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tilevm/internal/x86"
+)
+
+func TestMemoryReadWriteRoundTrip(t *testing.T) {
+	m := NewMemory()
+	m.Write32(0x1000, 0xdeadbeef)
+	if got := m.Read32(0x1000); got != 0xdeadbeef {
+		t.Errorf("Read32 = %#x", got)
+	}
+	if got := m.Read8(0x1000); got != 0xef {
+		t.Errorf("little-endian low byte = %#x", got)
+	}
+	if got := m.Read16(0x1002); got != 0xdead {
+		t.Errorf("high half = %#x", got)
+	}
+}
+
+func TestMemoryUnmappedReadsZero(t *testing.T) {
+	m := NewMemory()
+	if m.Read32(0x5000_0000) != 0 || m.Read8(0xffff_fff0) != 0 {
+		t.Error("unmapped memory should read zero")
+	}
+}
+
+func TestMemoryUnalignedAndPageCrossing(t *testing.T) {
+	m := NewMemory()
+	// Cross a 64KB page boundary.
+	addr := uint32(0x1_0000 - 2)
+	m.Write32(addr, 0x11223344)
+	if got := m.Read32(addr); got != 0x11223344 {
+		t.Errorf("page-crossing Read32 = %#x", got)
+	}
+	m.Write16(0x1_FFFF, 0xaabb)
+	if got := m.Read16(0x1_FFFF); got != 0xaabb {
+		t.Errorf("page-crossing Read16 = %#x", got)
+	}
+}
+
+func TestMemoryPropertyRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := NewMemory()
+		type w struct {
+			addr uint32
+			val  uint32
+			n    uint8
+		}
+		var writes []w
+		for i := 0; i < 50; i++ {
+			sizes := []uint8{1, 2, 4}
+			// Use well-separated addresses so writes don't overlap.
+			ww := w{uint32(i) * 16, r.Uint32(), sizes[r.Intn(3)]}
+			m.WriteN(ww.addr, ww.val, ww.n)
+			writes = append(writes, ww)
+		}
+		for _, ww := range writes {
+			if m.ReadN(ww.addr, ww.n) != ww.val&x86.SizeMask(ww.n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCPUSubRegisters(t *testing.T) {
+	var c CPU
+	c.SetReg(x86.EAX, 0x11223344)
+	if c.Reg8(0) != 0x44 { // AL
+		t.Errorf("AL = %#x", c.Reg8(0))
+	}
+	if c.Reg8(4) != 0x33 { // AH
+		t.Errorf("AH = %#x", c.Reg8(4))
+	}
+	c.SetReg8(4, 0xff) // AH
+	if c.Reg(x86.EAX) != 0x1122ff44 {
+		t.Errorf("EAX after AH write = %#x", c.Reg(x86.EAX))
+	}
+	c.SetReg16(x86.EAX, 0xbeef)
+	if c.Reg(x86.EAX) != 0x1122beef {
+		t.Errorf("EAX after AX write = %#x", c.Reg(x86.EAX))
+	}
+}
+
+func TestLoadSetsUpProcess(t *testing.T) {
+	img := &Image{
+		Entry:    DefaultCodeBase,
+		CodeBase: DefaultCodeBase,
+		Code:     []byte{0x90, 0xC3},
+		Segments: []Segment{{Addr: 0x0a000000, Data: []byte{1, 2, 3}}},
+	}
+	p := Load(img)
+	if p.PC != DefaultCodeBase {
+		t.Errorf("PC = %#x", p.PC)
+	}
+	if p.Mem.Read8(DefaultCodeBase) != 0x90 {
+		t.Error("code not loaded")
+	}
+	if p.Mem.Read8(0x0a000002) != 3 {
+		t.Error("segment not loaded")
+	}
+	sp := p.Reg(x86.ESP)
+	if sp == 0 || sp >= DefaultStackTop {
+		t.Errorf("ESP = %#x", sp)
+	}
+	if p.Mem.Read32(sp) != 0 { // argc
+		t.Error("argc != 0")
+	}
+}
+
+func TestKernelExit(t *testing.T) {
+	k := NewKernel(DefaultHeapBase)
+	m := NewMemory()
+	var r [8]uint32
+	r[x86.EAX] = 1
+	r[x86.EBX] = 7
+	k.Syscall(m, &r)
+	if !k.Exited || k.ExitCode != 7 {
+		t.Errorf("exit: %v %d", k.Exited, k.ExitCode)
+	}
+}
+
+func TestKernelWriteAndRead(t *testing.T) {
+	k := NewKernel(DefaultHeapBase)
+	k.SetStdin([]byte("input"))
+	m := NewMemory()
+	m.WriteBytes(0x2000, []byte("hello"))
+	var r [8]uint32
+	r[x86.EAX], r[x86.EBX], r[x86.ECX], r[x86.EDX] = 4, 1, 0x2000, 5
+	k.Syscall(m, &r)
+	if r[x86.EAX] != 5 || k.Stdout.String() != "hello" {
+		t.Errorf("write: ret=%d out=%q", r[x86.EAX], k.Stdout.String())
+	}
+	r[x86.EAX], r[x86.EBX], r[x86.ECX], r[x86.EDX] = 3, 0, 0x3000, 10
+	k.Syscall(m, &r)
+	if r[x86.EAX] != 5 || string(m.ReadBytes(0x3000, 5)) != "input" {
+		t.Errorf("read: ret=%d", r[x86.EAX])
+	}
+}
+
+func TestKernelBrkAndMmap(t *testing.T) {
+	k := NewKernel(0x0a000000)
+	m := NewMemory()
+	var r [8]uint32
+	r[x86.EAX], r[x86.EBX] = 45, 0
+	k.Syscall(m, &r)
+	if r[x86.EAX] != 0x0a000000 {
+		t.Errorf("brk(0) = %#x", r[x86.EAX])
+	}
+	r[x86.EAX], r[x86.EBX] = 45, 0x0a010000
+	k.Syscall(m, &r)
+	if r[x86.EAX] != 0x0a010000 {
+		t.Errorf("brk(grow) = %#x", r[x86.EAX])
+	}
+	// brk shrink is ignored (stays).
+	r[x86.EAX], r[x86.EBX] = 45, 0x0a000000
+	k.Syscall(m, &r)
+	if r[x86.EAX] != 0x0a010000 {
+		t.Errorf("brk(shrink) = %#x", r[x86.EAX])
+	}
+	r[x86.EAX], r[x86.ECX] = 192, 0x5000 // mmap2 length
+	k.Syscall(m, &r)
+	first := r[x86.EAX]
+	r[x86.EAX], r[x86.ECX] = 192, 0x1000
+	k.Syscall(m, &r)
+	if r[x86.EAX] <= first {
+		t.Error("mmap regions overlap")
+	}
+}
+
+func TestKernelUnknownSyscall(t *testing.T) {
+	k := NewKernel(DefaultHeapBase)
+	m := NewMemory()
+	var r [8]uint32
+	r[x86.EAX] = 9999
+	k.Syscall(m, &r)
+	if int32(r[x86.EAX]) != -38 {
+		t.Errorf("unknown syscall = %d, want -38 (ENOSYS)", int32(r[x86.EAX]))
+	}
+}

@@ -1,0 +1,151 @@
+package guest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Image file format: a minimal container for guest programs, written
+// by cmd/wlgen and consumed by cmd/tilevm and cmd/x86run. All fields
+// little-endian:
+//
+//	magic   "TVMI"          4 bytes
+//	version uint32          (1)
+//	entry   uint32
+//	codeBase uint32
+//	codeLen uint32          followed by code bytes
+//	nameLen uint32          followed by name bytes
+//	nsegs   uint32
+//	  per segment: addr uint32, len uint32, data
+const imageMagic = "TVMI"
+
+// WriteTo serializes the image.
+func (img *Image) WriteTo(w io.Writer) (int64, error) {
+	var buf bytes.Buffer
+	buf.WriteString(imageMagic)
+	le := binary.LittleEndian
+	var tmp [4]byte
+	put := func(v uint32) {
+		le.PutUint32(tmp[:], v)
+		buf.Write(tmp[:])
+	}
+	put(1)
+	put(img.Entry)
+	put(img.CodeBase)
+	put(uint32(len(img.Code)))
+	buf.Write(img.Code)
+	put(uint32(len(img.Name)))
+	buf.WriteString(img.Name)
+	put(uint32(len(img.Segments)))
+	for _, s := range img.Segments {
+		put(s.Addr)
+		put(uint32(len(s.Data)))
+		buf.Write(s.Data)
+	}
+	n, err := w.Write(buf.Bytes())
+	return int64(n), err
+}
+
+// ReadImage parses an image file.
+func ReadImage(r io.Reader) (*Image, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 4+4*4 || string(data[:4]) != imageMagic {
+		return nil, fmt.Errorf("guest: not a TVMI image")
+	}
+	le := binary.LittleEndian
+	pos := 4
+	next := func() (uint32, error) {
+		if pos+4 > len(data) {
+			return 0, fmt.Errorf("guest: truncated image")
+		}
+		v := le.Uint32(data[pos:])
+		pos += 4
+		return v, nil
+	}
+	take := func(n uint32) ([]byte, error) {
+		if uint32(pos)+n > uint32(len(data)) || int(n) < 0 {
+			return nil, fmt.Errorf("guest: truncated image payload")
+		}
+		out := data[pos : pos+int(n)]
+		pos += int(n)
+		return out, nil
+	}
+
+	ver, err := next()
+	if err != nil || ver != 1 {
+		return nil, fmt.Errorf("guest: unsupported image version")
+	}
+	img := &Image{}
+	if img.Entry, err = next(); err != nil {
+		return nil, err
+	}
+	if img.CodeBase, err = next(); err != nil {
+		return nil, err
+	}
+	n, err := next()
+	if err != nil {
+		return nil, err
+	}
+	code, err := take(n)
+	if err != nil {
+		return nil, err
+	}
+	img.Code = append([]byte(nil), code...)
+	if n, err = next(); err != nil {
+		return nil, err
+	}
+	name, err := take(n)
+	if err != nil {
+		return nil, err
+	}
+	img.Name = string(name)
+	nsegs, err := next()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nsegs; i++ {
+		addr, err := next()
+		if err != nil {
+			return nil, err
+		}
+		ln, err := next()
+		if err != nil {
+			return nil, err
+		}
+		seg, err := take(ln)
+		if err != nil {
+			return nil, err
+		}
+		img.Segments = append(img.Segments, Segment{Addr: addr, Data: append([]byte(nil), seg...)})
+	}
+	return img, nil
+}
+
+// SaveImage writes the image to a file.
+func SaveImage(img *Image, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := img.WriteTo(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadImageFile reads an image from a file.
+func LoadImageFile(path string) (*Image, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadImage(f)
+}

@@ -1,0 +1,81 @@
+// Package metrics collects the counters the evaluation reports are
+// built from (Figures 4-11). The engine fills a Set at the end of a
+// run; the simulation is single-threaded in virtual time, so counters
+// need no synchronization.
+package metrics
+
+// Set is the full counter set of one run.
+type Set struct {
+	// Time.
+	Cycles uint64
+
+	// Execution.
+	BlockDispatches uint64 // dispatch-loop iterations
+	HostInsts       uint64 // host instructions retired on the exec tile
+	GuestInsts      uint64 // guest instructions (from block metadata)
+	Syscalls        uint64
+	Assists         uint64
+
+	// Code caches.
+	L1CLookups uint64
+	L1CHits    uint64
+	L1CFlushes uint64
+	Chains     uint64
+	L15Lookups uint64
+	L15Hits    uint64
+	L2CAccess  uint64 // manager L2 code cache accesses
+	L2CMisses  uint64 // → translations demanded
+	L2CStores  uint64
+
+	// Translation.
+	Translations    uint64 // blocks translated (including speculative)
+	TransGuestInsts uint64 // guest instructions translated
+	DemandMisses    uint64 // exec-visible L2 code cache misses
+	SpecWasted      uint64 // speculative translations never demanded
+
+	// Data memory.
+	DL1Accesses uint64 // guest accesses on the exec tile
+	DL1Misses   uint64 // tile D-cache misses → memory system
+	L2DRequests uint64
+	L2DMisses   uint64 // bank misses → DRAM
+	TLBMisses   uint64
+
+	// Reconfiguration.
+	Reconfigs       uint64
+	MorphFlushLines uint64
+
+	// Self-modifying code.
+	SMCInvalidations uint64
+}
+
+// L2CAccessesPerCycle is Figure 6's metric.
+func (s *Set) L2CAccessesPerCycle() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.L2CAccess) / float64(s.Cycles)
+}
+
+// L2CMissRate is Figure 7's metric: misses per L2 code cache access.
+func (s *Set) L2CMissRate() float64 {
+	if s.L2CAccess == 0 {
+		return 0
+	}
+	return float64(s.L2CMisses) / float64(s.L2CAccess)
+}
+
+// DL1MissRate is the exec-tile data cache miss rate.
+func (s *Set) DL1MissRate() float64 {
+	if s.DL1Accesses == 0 {
+		return 0
+	}
+	return float64(s.DL1Misses) / float64(s.DL1Accesses)
+}
+
+// L15HitRate is the fraction of L1.5 lookups that hit.
+func (s *Set) L15HitRate() float64 {
+	if s.L15Lookups == 0 {
+		return 0
+	}
+	return float64(s.L15Hits) / float64(s.L15Lookups)
+}

@@ -1,0 +1,35 @@
+package metrics
+
+import "testing"
+
+func TestDerivedRates(t *testing.T) {
+	s := Set{
+		Cycles:      1000,
+		L2CAccess:   10,
+		L2CMisses:   4,
+		DL1Accesses: 200,
+		DL1Misses:   50,
+		L15Lookups:  80,
+		L15Hits:     60,
+	}
+	if got := s.L2CAccessesPerCycle(); got != 0.01 {
+		t.Errorf("L2CAccessesPerCycle = %v", got)
+	}
+	if got := s.L2CMissRate(); got != 0.4 {
+		t.Errorf("L2CMissRate = %v", got)
+	}
+	if got := s.DL1MissRate(); got != 0.25 {
+		t.Errorf("DL1MissRate = %v", got)
+	}
+	if got := s.L15HitRate(); got != 0.75 {
+		t.Errorf("L15HitRate = %v", got)
+	}
+}
+
+func TestZeroDenominators(t *testing.T) {
+	var s Set
+	if s.L2CAccessesPerCycle() != 0 || s.L2CMissRate() != 0 ||
+		s.DL1MissRate() != 0 || s.L15HitRate() != 0 {
+		t.Error("zero denominators must yield zero, not NaN")
+	}
+}

@@ -1,0 +1,135 @@
+// Package mmu models the software memory-management unit that runs on
+// a dedicated tile (paper §3.2): translation of guest (x86) virtual
+// addresses to x86 physical addresses and on to Raw physical addresses,
+// with a TLB in tile memory and a two-level page table walked in DRAM
+// on a miss.
+//
+// Frames are allocated sequentially on first touch, so translation is a
+// real mapping (not the identity), and the L2 data-cache banks index by
+// the translated physical address.
+package mmu
+
+const (
+	// PageShift is the guest page size (4KB, as on x86).
+	PageShift = 12
+	PageSize  = 1 << PageShift
+)
+
+// TLB is a fully-associative translation lookaside buffer with LRU
+// replacement, as maintained in software by the MMU tile.
+type TLB struct {
+	entries int
+	page    []uint32
+	frame   []uint32
+	used    []uint64
+	valid   []bool
+	stamp   uint64
+	Lookups uint64
+	Misses  uint64
+	Flushes uint64
+}
+
+// NewTLB builds a TLB with the given number of entries.
+func NewTLB(entries int) *TLB {
+	return &TLB{
+		entries: entries,
+		page:    make([]uint32, entries),
+		frame:   make([]uint32, entries),
+		used:    make([]uint64, entries),
+		valid:   make([]bool, entries),
+	}
+}
+
+// Lookup searches for a virtual page number; on a hit it returns the
+// frame number.
+func (t *TLB) Lookup(vpn uint32) (uint32, bool) {
+	t.Lookups++
+	t.stamp++
+	for i := 0; i < t.entries; i++ {
+		if t.valid[i] && t.page[i] == vpn {
+			t.used[i] = t.stamp
+			return t.frame[i], true
+		}
+	}
+	t.Misses++
+	return 0, false
+}
+
+// Insert fills an entry (LRU victim).
+func (t *TLB) Insert(vpn, frame uint32) {
+	victim := 0
+	for i := 0; i < t.entries; i++ {
+		if !t.valid[i] {
+			victim = i
+			break
+		}
+		if t.used[i] < t.used[victim] {
+			victim = i
+		}
+	}
+	t.page[victim] = vpn
+	t.frame[victim] = frame
+	t.used[victim] = t.stamp
+	t.valid[victim] = true
+}
+
+// Flush invalidates the whole TLB.
+func (t *TLB) Flush() {
+	for i := range t.valid {
+		t.valid[i] = false
+	}
+	t.Flushes++
+}
+
+// PageTable allocates physical frames on first touch and records the
+// virtual→physical mapping (a flat map standing in for the two-level
+// table; the walk cost is charged by the MMU tile kernel).
+type PageTable struct {
+	frames    map[uint32]uint32
+	nextFrame uint32
+	Walks     uint64
+}
+
+// NewPageTable builds an empty table.
+func NewPageTable() *PageTable {
+	return &PageTable{frames: make(map[uint32]uint32)}
+}
+
+// Walk returns the frame for a virtual page, allocating one on first
+// touch (anonymous backing, no protection — the prototype's userland
+// environment).
+func (pt *PageTable) Walk(vpn uint32) uint32 {
+	pt.Walks++
+	if f, ok := pt.frames[vpn]; ok {
+		return f
+	}
+	f := pt.nextFrame
+	pt.nextFrame++
+	pt.frames[vpn] = f
+	return f
+}
+
+// MMU bundles the TLB and page table, exposing the translation the MMU
+// tile kernel performs per request.
+type MMU struct {
+	TLB *TLB
+	PT  *PageTable
+}
+
+// New builds an MMU with the given TLB size.
+func New(tlbEntries int) *MMU {
+	return &MMU{TLB: NewTLB(tlbEntries), PT: NewPageTable()}
+}
+
+// Translate maps a guest virtual address to a Raw physical address,
+// reporting whether the TLB missed (the kernel charges the walk cost).
+func (m *MMU) Translate(vaddr uint32) (paddr uint32, tlbMiss bool) {
+	vpn := vaddr >> PageShift
+	frame, hit := m.TLB.Lookup(vpn)
+	if !hit {
+		frame = m.PT.Walk(vpn)
+		m.TLB.Insert(vpn, frame)
+		tlbMiss = true
+	}
+	return frame<<PageShift | vaddr&(PageSize-1), tlbMiss
+}

@@ -1,0 +1,96 @@
+package mmu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTranslateConsistency(t *testing.T) {
+	m := New(8)
+	// Same virtual address always maps to the same physical address.
+	p1, miss1 := m.Translate(0x08048123)
+	if !miss1 {
+		t.Error("first access should miss the TLB")
+	}
+	p2, miss2 := m.Translate(0x08048123)
+	if miss2 {
+		t.Error("second access should hit")
+	}
+	if p1 != p2 {
+		t.Errorf("translation changed: %#x vs %#x", p1, p2)
+	}
+	// Page offset preserved.
+	if p1&(PageSize-1) != 0x123 {
+		t.Errorf("offset lost: %#x", p1)
+	}
+}
+
+func TestDistinctPagesDistinctFrames(t *testing.T) {
+	m := New(64)
+	pa, _ := m.Translate(0x1000)
+	pb, _ := m.Translate(0x2000)
+	if pa>>PageShift == pb>>PageShift {
+		t.Error("two pages share a frame")
+	}
+}
+
+func TestTLBLRUEviction(t *testing.T) {
+	m := New(2)
+	m.Translate(0x1000)
+	m.Translate(0x2000)
+	m.Translate(0x1000)                        // refresh page 1
+	if _, miss := m.Translate(0x3000); !miss { // evicts page 2
+		t.Error("expected miss on new page")
+	}
+	if _, miss := m.Translate(0x1000); miss {
+		t.Error("LRU evicted the recently used page")
+	}
+	if _, miss := m.Translate(0x2000); !miss {
+		t.Error("expected page 2 to have been evicted")
+	}
+}
+
+func TestTLBFlush(t *testing.T) {
+	m := New(4)
+	m.Translate(0x1000)
+	m.TLB.Flush()
+	if _, miss := m.Translate(0x1000); !miss {
+		t.Error("flush did not invalidate")
+	}
+	if m.TLB.Flushes != 1 {
+		t.Errorf("flush counter = %d", m.TLB.Flushes)
+	}
+}
+
+func TestWalkCountsAndStability(t *testing.T) {
+	m := New(4)
+	for i := 0; i < 100; i++ {
+		m.Translate(uint32(i) << PageShift)
+	}
+	if m.PT.Walks != 100 {
+		t.Errorf("walks = %d, want 100", m.PT.Walks)
+	}
+	// Revisit with a cold TLB: no new frames.
+	m.TLB.Flush()
+	before := m.PT.Walks
+	p1, _ := m.Translate(0)
+	if m.PT.Walks != before+1 {
+		t.Error("revisit did not walk")
+	}
+	m.TLB.Flush()
+	p2, _ := m.Translate(0)
+	if p1 != p2 {
+		t.Error("walk result unstable")
+	}
+}
+
+func TestTranslatePropertyOffsetPreserved(t *testing.T) {
+	m := New(64)
+	f := func(v uint32) bool {
+		p, _ := m.Translate(v)
+		return p&(PageSize-1) == v&(PageSize-1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

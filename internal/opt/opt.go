@@ -1,0 +1,91 @@
+// Package opt implements the translator's optimization passes over IR
+// blocks: constant folding and propagation, copy propagation, and dead
+// code elimination. The paper applies full optimization to every block
+// because translation runs off the critical path on slave tiles
+// (§2.1); Figure 8 measures the win, which these passes regenerate.
+//
+// All passes preserve two invariants: physical registers (pinned guest
+// state) are always live out of the block, and instructions with side
+// effects (guest memory, syscalls, assists, exits, branches) are never
+// removed or reordered.
+package opt
+
+import (
+	"tilevm/internal/ir"
+	"tilevm/internal/rawisa"
+)
+
+// Run applies all passes to the block in place until a fixpoint (at
+// most a few iterations; bounded for safety), then hoists loads once
+// to hide load-use latency.
+func Run(b *ir.Block) {
+	for i := 0; i < 4; i++ {
+		changed := constFold(b)
+		changed = copyProp(b) || changed
+		changed = redundantLoads(b) || changed
+		changed = deadCode(b) || changed
+		if !changed {
+			break
+		}
+	}
+	hoistLoads(b)
+}
+
+// labelTargets returns the set of instruction indices that are branch
+// targets (join points where dataflow facts must be dropped).
+func labelTargets(b *ir.Block) map[int]bool {
+	t := map[int]bool{}
+	for _, pos := range b.LabelPos {
+		if pos >= 0 {
+			t[pos] = true
+		}
+	}
+	return t
+}
+
+// isPure reports whether an op has no effect beyond writing Rd.
+func isPure(op rawisa.Op) bool {
+	switch op {
+	case rawisa.NOP, rawisa.LUI, rawisa.ADDI, rawisa.ANDI, rawisa.ORI,
+		rawisa.XORI, rawisa.SLTI, rawisa.SLTIU, rawisa.SLLI, rawisa.SRLI,
+		rawisa.SRAI, rawisa.ADD, rawisa.SUB, rawisa.AND, rawisa.OR,
+		rawisa.XOR, rawisa.NOR, rawisa.SLT, rawisa.SLTU, rawisa.SLL,
+		rawisa.SRL, rawisa.SRA, rawisa.MFHI, rawisa.MFLO:
+		return true
+	}
+	return false
+}
+
+// regUses mirrors codegen's use model.
+func regUses(in rawisa.Inst) (uses [2]uint8, n int) {
+	switch in.Op {
+	case rawisa.NOP, rawisa.LUI, rawisa.SYSC, rawisa.EXITI, rawisa.CHAIN,
+		rawisa.ASSIST, rawisa.J, rawisa.JAL, rawisa.MFHI, rawisa.MFLO:
+		return
+	case rawisa.ADD, rawisa.SUB, rawisa.AND, rawisa.OR, rawisa.XOR,
+		rawisa.NOR, rawisa.SLT, rawisa.SLTU, rawisa.SLL, rawisa.SRL,
+		rawisa.SRA, rawisa.MULT, rawisa.MULTU, rawisa.DIV, rawisa.DIVU,
+		rawisa.BEQ, rawisa.BNE, rawisa.SW,
+		rawisa.GSB, rawisa.GSH, rawisa.GSW:
+		uses[0], uses[1] = in.Rs, in.Rt
+		n = 2
+		return
+	default:
+		uses[0] = in.Rs
+		n = 1
+		return
+	}
+}
+
+func regDef(in rawisa.Inst) uint8 {
+	switch in.Op {
+	case rawisa.LUI, rawisa.ADDI, rawisa.ANDI, rawisa.ORI, rawisa.XORI,
+		rawisa.SLTI, rawisa.SLTIU, rawisa.SLLI, rawisa.SRLI, rawisa.SRAI,
+		rawisa.ADD, rawisa.SUB, rawisa.AND, rawisa.OR, rawisa.XOR,
+		rawisa.NOR, rawisa.SLT, rawisa.SLTU, rawisa.SLL, rawisa.SRL,
+		rawisa.SRA, rawisa.MFHI, rawisa.MFLO, rawisa.LW,
+		rawisa.GLB, rawisa.GLBU, rawisa.GLH, rawisa.GLHU, rawisa.GLW:
+		return in.Rd
+	}
+	return 0
+}

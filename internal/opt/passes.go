@@ -1,0 +1,296 @@
+package opt
+
+import (
+	"tilevm/internal/ir"
+	"tilevm/internal/rawisa"
+)
+
+// constFold tracks known register constants forward through the block
+// and folds pure ALU results that become fully constant into immediate
+// loads (LUI/ORI pairs are re-formed by later simplification in the
+// builder idiom: we emit ADDI-from-zero for small values and keep
+// LUI+ORI shapes otherwise). Facts are dropped at branch targets.
+func constFold(b *ir.Block) bool {
+	targets := labelTargets(b)
+	known := map[uint8]uint32{0: 0} // register -> constant
+	changed := false
+
+	fold := func(in rawisa.Inst) (uint32, bool) {
+		val := func(r uint8) (uint32, bool) { v, ok := known[r]; return v, ok }
+		switch in.Op {
+		case rawisa.LUI:
+			return uint32(in.Imm) << 16, true
+		case rawisa.ADDI, rawisa.ANDI, rawisa.ORI, rawisa.XORI,
+			rawisa.SLTI, rawisa.SLTIU, rawisa.SLLI, rawisa.SRLI, rawisa.SRAI:
+			a, ok := val(in.Rs)
+			if !ok {
+				return 0, false
+			}
+			switch in.Op {
+			case rawisa.ADDI:
+				return a + uint32(in.Imm), true
+			case rawisa.ANDI:
+				return a & uint32(uint16(in.Imm)), true
+			case rawisa.ORI:
+				return a | uint32(uint16(in.Imm)), true
+			case rawisa.XORI:
+				return a ^ uint32(uint16(in.Imm)), true
+			case rawisa.SLTI:
+				if int32(a) < in.Imm {
+					return 1, true
+				}
+				return 0, true
+			case rawisa.SLTIU:
+				if a < uint32(in.Imm) {
+					return 1, true
+				}
+				return 0, true
+			case rawisa.SLLI:
+				return a << uint(in.Imm&31), true
+			case rawisa.SRLI:
+				return a >> uint(in.Imm&31), true
+			case rawisa.SRAI:
+				return uint32(int32(a) >> uint(in.Imm&31)), true
+			}
+		case rawisa.ADD, rawisa.SUB, rawisa.AND, rawisa.OR, rawisa.XOR,
+			rawisa.NOR, rawisa.SLT, rawisa.SLTU, rawisa.SLL, rawisa.SRL, rawisa.SRA:
+			a, okA := val(in.Rs)
+			bv, okB := val(in.Rt)
+			if !okA || !okB {
+				return 0, false
+			}
+			switch in.Op {
+			case rawisa.ADD:
+				return a + bv, true
+			case rawisa.SUB:
+				return a - bv, true
+			case rawisa.AND:
+				return a & bv, true
+			case rawisa.OR:
+				return a | bv, true
+			case rawisa.XOR:
+				return a ^ bv, true
+			case rawisa.NOR:
+				return ^(a | bv), true
+			case rawisa.SLT:
+				if int32(a) < int32(bv) {
+					return 1, true
+				}
+				return 0, true
+			case rawisa.SLTU:
+				if a < bv {
+					return 1, true
+				}
+				return 0, true
+			case rawisa.SLL:
+				return bv << (a & 31), true
+			case rawisa.SRL:
+				return bv >> (a & 31), true
+			case rawisa.SRA:
+				return uint32(int32(bv) >> (a & 31)), true
+			}
+		}
+		return 0, false
+	}
+
+	for i := range b.Code {
+		if targets[i] {
+			known = map[uint8]uint32{0: 0}
+		}
+		in := &b.Code[i]
+		d := regDef(in.Inst)
+		if isPure(in.Op) && d != 0 {
+			if v, ok := fold(in.Inst); ok {
+				known[d] = v
+				// Rewrite to the canonical constant-load shape when it
+				// saves or simplifies.
+				if rawisa.FitsSImm(int32(v)) && (in.Op != rawisa.ADDI || in.Rs != 0) {
+					in.Inst = rawisa.Inst{Op: rawisa.ADDI, Rd: d, Imm: int32(v)}
+					changed = true
+				}
+				continue
+			}
+		}
+		// Strength-reduce reg-reg ops with one constant operand into
+		// immediate forms.
+		if imm, ok := immForm(in.Inst, known); ok {
+			in.Inst = imm
+			changed = true
+		}
+		if d != 0 {
+			delete(known, d)
+			if v, ok := fold(in.Inst); ok && isPure(in.Op) {
+				known[d] = v
+			}
+		}
+		if in.Op == rawisa.SYSC || in.Op == rawisa.ASSIST {
+			// Syscalls and interpreter assists read and write the
+			// pinned guest registers implicitly.
+			for r := uint8(1); r < ir.FirstVReg; r++ {
+				delete(known, r)
+			}
+		}
+		// HI/LO clobbers don't affect the register constant map.
+	}
+	return changed
+}
+
+// immForm rewrites a reg-reg ALU op whose Rt (or commutable Rs) is a
+// known small constant into the immediate form.
+func immForm(in rawisa.Inst, known map[uint8]uint32) (rawisa.Inst, bool) {
+	type rule struct {
+		immOp rawisa.Op
+		comm  bool
+	}
+	rules := map[rawisa.Op]rule{
+		rawisa.ADD:  {rawisa.ADDI, true},
+		rawisa.AND:  {rawisa.ANDI, true},
+		rawisa.OR:   {rawisa.ORI, true},
+		rawisa.XOR:  {rawisa.XORI, true},
+		rawisa.SLT:  {rawisa.SLTI, false},
+		rawisa.SLTU: {rawisa.SLTIU, false},
+	}
+	r, ok := rules[in.Op]
+	if !ok {
+		return in, false
+	}
+	fits := func(op rawisa.Op, v uint32) bool {
+		switch op {
+		case rawisa.ANDI, rawisa.ORI, rawisa.XORI:
+			return v <= rawisa.MaxUImm
+		default:
+			return rawisa.FitsSImm(int32(v))
+		}
+	}
+	if v, ok := known[in.Rt]; ok && in.Rt != 0 && fits(r.immOp, v) {
+		return rawisa.Inst{Op: r.immOp, Rd: in.Rd, Rs: in.Rs, Imm: int32(v)}, true
+	}
+	if r.comm {
+		if v, ok := known[in.Rs]; ok && in.Rs != 0 && fits(r.immOp, v) {
+			return rawisa.Inst{Op: r.immOp, Rd: in.Rd, Rs: in.Rt, Imm: int32(v)}, true
+		}
+	}
+	return in, false
+}
+
+// copyProp replaces uses of registers that are known copies of other
+// registers. Only vreg→reg copies created by `OR rd, rs, r0` and
+// `ADDI rd, rs, 0` are tracked; facts drop at branch targets and when
+// either side is redefined. Physical guest registers are never
+// rewritten as destinations.
+func copyProp(b *ir.Block) bool {
+	targets := labelTargets(b)
+	alias := map[uint8]uint8{} // reg -> source it copies
+	changed := false
+
+	invalidate := func(r uint8) {
+		delete(alias, r)
+		for k, v := range alias {
+			if v == r {
+				delete(alias, k)
+			}
+		}
+	}
+
+	resolve := func(r uint8) uint8 {
+		if src, ok := alias[r]; ok {
+			return src
+		}
+		return r
+	}
+
+	for i := range b.Code {
+		if targets[i] {
+			alias = map[uint8]uint8{}
+		}
+		in := &b.Code[i]
+		// Rewrite uses.
+		uses, n := regUses(in.Inst)
+		for k := 0; k < n; k++ {
+			if src := resolve(uses[k]); src != uses[k] {
+				if k == 0 {
+					in.Rs = src
+				} else {
+					in.Rt = src
+				}
+				changed = true
+			}
+		}
+		d := regDef(in.Inst)
+		if d != 0 {
+			invalidate(d)
+			isCopy := (in.Op == rawisa.OR && in.Rt == 0) ||
+				(in.Op == rawisa.ADDI && in.Imm == 0)
+			if isCopy && in.Rs != d && in.Rs != 0 {
+				alias[d] = resolve(in.Rs)
+			}
+		}
+		if in.Op == rawisa.SYSC || in.Op == rawisa.ASSIST {
+			for r := uint8(1); r < ir.FirstVReg; r++ {
+				invalidate(r)
+			}
+		}
+	}
+	return changed
+}
+
+// deadCode removes pure instructions whose destination vreg is never
+// subsequently read. Physical registers are always considered live
+// (guest state flows out of the block). Label positions are remapped
+// after removal.
+func deadCode(b *ir.Block) bool {
+	n := len(b.Code)
+	liveV := make(map[uint8]bool)
+	keep := make([]bool, n)
+
+	for i := n - 1; i >= 0; i-- {
+		in := b.Code[i]
+		d := regDef(in.Inst)
+		dead := isPure(in.Op) && d >= ir.FirstVReg && !liveV[d]
+		if in.Op == rawisa.NOP {
+			dead = true
+		}
+		if dead {
+			continue
+		}
+		keep[i] = true
+		// Note: a kept def does NOT clear liveness. With forward
+		// branches a def can be skipped at runtime, so an earlier def
+		// of the same vreg may still reach a later use on the branch
+		// path; never killing at defs keeps the analysis sound at the
+		// cost of retaining the occasional doubly-defined temp.
+		uses, un := regUses(in.Inst)
+		for k := 0; k < un; k++ {
+			if uses[k] >= ir.FirstVReg {
+				liveV[uses[k]] = true
+			}
+		}
+	}
+
+	removed := 0
+	newPos := make([]int, n+1)
+	for i := 0; i < n; i++ {
+		newPos[i] = i - removed
+		if !keep[i] {
+			removed++
+		}
+	}
+	newPos[n] = n - removed
+	if removed == 0 {
+		return false
+	}
+
+	out := b.Code[:0]
+	for i, in := range b.Code {
+		if keep[i] {
+			out = append(out, in)
+		}
+	}
+	b.Code = out
+	for li, pos := range b.LabelPos {
+		if pos >= 0 {
+			b.LabelPos[li] = newPos[pos]
+		}
+	}
+	return true
+}

@@ -1,0 +1,75 @@
+package pentium
+
+import (
+	"testing"
+
+	"tilevm/internal/guest"
+	"tilevm/internal/x86"
+)
+
+// loop builds a counted loop of n iterations; when maskWords is
+// nonzero each iteration stores+loads within a working set of
+// (maskWords+1)*4 bytes, wrapping so the set is swept repeatedly.
+func loop(n uint32, maskWords uint32) *guest.Image {
+	a := x86.NewAsm(guest.DefaultCodeBase)
+	a.MovRegImm(x86.ESI, guest.DefaultHeapBase)
+	a.MovRegImm(x86.ECX, n)
+	a.Label("l")
+	a.ALU(x86.ADD, x86.RegOp(x86.EBX, 4), x86.RegOp(x86.ECX, 4))
+	if maskWords != 0 {
+		a.MovRegReg(x86.EDX, x86.ECX)
+		a.ALU(x86.AND, x86.RegOp(x86.EDX, 4), x86.ImmOp(int32(maskWords), 4))
+		a.MovMemReg(x86.MemIdx(x86.ESI, x86.EDX, 4, 0), x86.EBX)
+		a.MovRegMem(x86.EDX, x86.MemIdx(x86.ESI, x86.EDX, 4, 0))
+	}
+	a.DecReg(x86.ECX)
+	a.Jcc(x86.CondNE, "l")
+	a.MovRegImm(x86.EAX, 1)
+	a.Int(0x80)
+	return &guest.Image{Entry: guest.DefaultCodeBase, CodeBase: guest.DefaultCodeBase, Code: a.Bytes()}
+}
+
+func TestBaselineRunsAndCounts(t *testing.T) {
+	r, err := Run(loop(50_000, 1023), DefaultParams(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Insts == 0 || r.Cycles == 0 {
+		t.Fatal("empty result")
+	}
+	if r.MemAccs < 100_000 {
+		t.Errorf("memory accesses = %d, want >= 100000", r.MemAccs)
+	}
+	// ILP > 1: cycles should be below instruction count for a cache-
+	// friendly loop.
+	if float64(r.Cycles) > float64(r.Insts)*1.5 {
+		t.Errorf("CPI = %.2f, too high for an L1-resident loop",
+			float64(r.Cycles)/float64(r.Insts))
+	}
+}
+
+func TestMissesRaiseCycles(t *testing.T) {
+	p := DefaultParams()
+	small, err := Run(loop(100_000, 1023), p, 0) // 4KB working set
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Run(loop(100_000, 131071), p, 0) // 512KB working set
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpiSmall := float64(small.Cycles) / float64(small.Insts)
+	cpiBig := float64(big.Cycles) / float64(big.Insts)
+	if cpiBig <= cpiSmall {
+		t.Errorf("big working set CPI %.2f not above small %.2f", cpiBig, cpiSmall)
+	}
+	if big.L2Misses == 0 {
+		t.Error("800KB sweep produced no L2 misses")
+	}
+}
+
+func TestBudgetEnforced(t *testing.T) {
+	if _, err := Run(loop(1_000_000, 0), DefaultParams(), 100); err == nil {
+		t.Error("budget exhaustion not reported")
+	}
+}

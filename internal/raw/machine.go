@@ -1,0 +1,105 @@
+// Package raw models the Raw tiled processor: a grid of MIPS-like tiles
+// joined by dynamic networks, with software-managed instruction memory,
+// per-tile data caches, and shared off-chip DRAM. It layers tile-to-tile
+// messaging on the deterministic discrete-event kernel in internal/sim.
+package raw
+
+import (
+	"fmt"
+
+	"tilevm/internal/sim"
+)
+
+// Machine is one simulated Raw chip.
+type Machine struct {
+	Params Params
+	Sim    *sim.Simulator
+	inbox  []*sim.Port
+	busy   []uint64
+}
+
+// NewMachine builds a machine with one inbox port per tile.
+func NewMachine(p Params) *Machine {
+	m := &Machine{
+		Params: p,
+		Sim:    sim.New(),
+		inbox:  make([]*sim.Port, p.Tiles()),
+		busy:   make([]uint64, p.Tiles()),
+	}
+	for i := range m.inbox {
+		m.inbox[i] = m.Sim.NewPort(fmt.Sprintf("tile%d.in", i))
+	}
+	return m
+}
+
+// Inbox returns tile id's message port.
+func (m *Machine) Inbox(id int) *sim.Port { return m.inbox[id] }
+
+// SpawnTile registers a kernel process for a tile. The body receives a
+// TileCtx bound to the tile's inbox and grid position.
+func (m *Machine) SpawnTile(id int, name string, body func(*TileCtx)) {
+	m.Sim.Spawn(fmt.Sprintf("%s@%d", name, id), func(p *sim.Proc) {
+		body(&TileCtx{M: m, Tile: id, P: p})
+	})
+}
+
+// TileCtx is the execution context of a tile kernel: the process, the
+// tile id, and messaging helpers that charge network latency.
+type TileCtx struct {
+	M    *Machine
+	Tile int
+	P    *sim.Proc
+}
+
+// Send transmits a payload of the given size in words to another tile,
+// charging header, per-hop, and serialization latency. The sender's
+// accrued local time is the departure time.
+func (c *TileCtx) Send(to int, payload any, words int) {
+	arrival := c.P.Now() + c.M.Params.NetLat(c.Tile, to, words)
+	c.M.inbox[to].Send(c.Tile, payload, arrival)
+}
+
+// Recv blocks until a message arrives at this tile.
+func (c *TileCtx) Recv() sim.Msg { return c.P.Recv(c.M.Inbox(c.Tile)) }
+
+// TryRecv polls the tile inbox without blocking.
+func (c *TileCtx) TryRecv() (sim.Msg, bool) { return c.P.TryRecv(c.M.Inbox(c.Tile)) }
+
+// RecvDeadline waits for a message until the deadline.
+func (c *TileCtx) RecvDeadline(deadline sim.Time) (sim.Msg, bool) {
+	return c.P.RecvDeadline(c.M.Inbox(c.Tile), deadline)
+}
+
+// Now returns the tile's local virtual time.
+func (c *TileCtx) Now() sim.Time { return c.P.Now() }
+
+// Tick accrues local busy cycles (counted toward the tile's
+// utilization).
+func (c *TileCtx) Tick(d uint64) {
+	c.M.busy[c.Tile] += d
+	c.P.Tick(d)
+}
+
+// Advance accrues d cycles and yields to the scheduler.
+func (c *TileCtx) Advance(d uint64) {
+	c.M.busy[c.Tile] += d
+	c.P.Advance(d)
+}
+
+// Sync yields until all accrued local cycles have elapsed.
+func (c *TileCtx) Sync() { c.P.Sync() }
+
+// Stop ends the whole machine simulation.
+func (c *TileCtx) Stop() { c.P.Stop() }
+
+// BusyCycles returns the per-tile busy-cycle counters (occupied
+// cycles, including stalls on in-flight results; waiting on the
+// network does not count).
+func (m *Machine) BusyCycles() []uint64 {
+	out := make([]uint64, len(m.busy))
+	copy(out, m.busy)
+	return out
+}
+
+// Run starts all tile kernels and runs to completion.
+func (m *Machine) Run() error { return m.Sim.Run() }

@@ -1,0 +1,108 @@
+package raw
+
+import (
+	"testing"
+)
+
+func TestGridGeometry(t *testing.T) {
+	p := DefaultParams()
+	if p.Tiles() != 16 {
+		t.Fatalf("tiles = %d", p.Tiles())
+	}
+	x, y := p.XY(5)
+	if x != 1 || y != 1 {
+		t.Errorf("XY(5) = %d,%d", x, y)
+	}
+	if p.TileAt(1, 1) != 5 {
+		t.Errorf("TileAt(1,1) = %d", p.TileAt(1, 1))
+	}
+	for id := 0; id < 16; id++ {
+		x, y := p.XY(id)
+		if p.TileAt(x, y) != id {
+			t.Errorf("XY/TileAt not inverse for %d", id)
+		}
+	}
+}
+
+func TestHopsManhattan(t *testing.T) {
+	p := DefaultParams()
+	cases := []struct {
+		a, b int
+		want uint64
+	}{
+		{0, 0, 0}, {0, 1, 1}, {0, 4, 1}, {0, 5, 2}, {0, 15, 6}, {5, 6, 1}, {5, 10, 2},
+	}
+	for _, c := range cases {
+		if got := p.Hops(c.a, c.b); got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if p.Hops(c.b, c.a) != c.want {
+			t.Errorf("Hops not symmetric for %d,%d", c.a, c.b)
+		}
+	}
+}
+
+func TestNetLatGrowsWithDistanceAndSize(t *testing.T) {
+	p := DefaultParams()
+	near := p.NetLat(5, 6, 1)
+	far := p.NetLat(0, 15, 1)
+	if far <= near {
+		t.Error("distance does not increase latency")
+	}
+	small := p.NetLat(5, 6, 1)
+	big := p.NetLat(5, 6, 100)
+	if big <= small {
+		t.Error("payload size does not increase latency")
+	}
+}
+
+func TestMachineMessaging(t *testing.T) {
+	m := NewMachine(DefaultParams())
+	got := ""
+	m.SpawnTile(0, "sender", func(c *TileCtx) {
+		c.Advance(10)
+		c.Send(15, "ping", 4)
+	})
+	m.SpawnTile(15, "receiver", func(c *TileCtx) {
+		msg := c.Recv()
+		got = msg.Payload.(string)
+		if msg.From != 0 {
+			t.Errorf("From = %d", msg.From)
+		}
+		// 10 (sender) + header 2 + 6 hops + 4 words = 22.
+		if c.Now() != 22 {
+			t.Errorf("arrival at %d, want 22", c.Now())
+		}
+		c.Stop()
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != "ping" {
+		t.Errorf("payload = %q", got)
+	}
+}
+
+func TestMachineRequestReply(t *testing.T) {
+	m := NewMachine(DefaultParams())
+	m.SpawnTile(1, "server", func(c *TileCtx) {
+		for {
+			msg := c.Recv()
+			c.Tick(5) // service occupancy
+			c.Send(msg.From, msg.Payload.(int)*2, 1)
+		}
+	})
+	m.SpawnTile(2, "client", func(c *TileCtx) {
+		for i := 1; i <= 3; i++ {
+			c.Send(1, i, 1)
+			r := c.Recv()
+			if r.Payload.(int) != i*2 {
+				t.Errorf("reply = %v, want %d", r.Payload, i*2)
+			}
+		}
+		c.Stop()
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,327 @@
+// Package rawexec executes translated host code on the
+// runtime-execution tile: a functional interpreter for the Raw ISA with
+// an in-order single-issue timing model (per-register scoreboard for
+// load-use stalls). Guest memory, syscalls, and interpreter assists are
+// delegated to an Env so the same engine runs standalone in unit tests
+// (flat memory, free timing) and inside the simulated machine (tile
+// D-cache, pipelined MMU/L2 messages, virtual time).
+package rawexec
+
+import (
+	"fmt"
+
+	"tilevm/internal/guest"
+	"tilevm/internal/rawisa"
+)
+
+// Clock is the execution tile's cycle counter. Inside the machine
+// simulation it wraps the tile's sim process; in tests it is a plain
+// counter.
+type Clock interface {
+	Now() uint64
+	Tick(d uint64)
+}
+
+// CountClock is the trivial Clock used by tests and standalone runs.
+type CountClock struct{ T uint64 }
+
+// Now returns the current cycle.
+func (c *CountClock) Now() uint64 { return c.T }
+
+// Tick advances the counter.
+func (c *CountClock) Tick(d uint64) { c.T += d }
+
+// Env supplies the execution engine's external operations.
+type Env interface {
+	// GuestLoad reads guest memory, charging issue occupancy on the
+	// clock itself and returning the loaded (extended) value along
+	// with the absolute cycle at which it is ready for use.
+	GuestLoad(addr uint32, size uint8, signed bool) (val uint32, readyAt uint64)
+	// GuestStore writes guest memory, charging occupancy internally.
+	GuestStore(addr uint32, val uint32, size uint8)
+	// Syscall services a guest syscall against the pinned registers.
+	Syscall(cpu *CPU)
+	// Assist executes one guest instruction via the interpreter
+	// fallback and writes the architectural state back.
+	Assist(guestPC uint32, cpu *CPU) error
+	// Stopped reports that the guest has exited; Exec returns
+	// immediately after the syscall that set it (chained successor
+	// blocks must not run).
+	Stopped() bool
+	// Interrupted reports that execution must return to the dispatch
+	// loop at the next block boundary (e.g. a store hit a translated
+	// code page and the caches must be invalidated). Chained jumps are
+	// not followed while it is set.
+	Interrupted() bool
+}
+
+// scratchWords is the tile-local runtime scratch memory addressable by
+// host LW/SW (spill and runtime bookkeeping space).
+const scratchWords = 2048
+
+// CPU is the host register state of the execution tile.
+type CPU struct {
+	R       [rawisa.NumRegs]uint32
+	HI, LO  uint32
+	ready   [rawisa.NumRegs]uint64
+	readyMD uint64 // HI/LO ready time
+	Scratch [scratchWords]uint32
+}
+
+// LoadGuest pins guest architectural state into the host registers.
+func (c *CPU) LoadGuest(g *guest.CPU) {
+	for i := 0; i < 8; i++ {
+		c.R[rawisa.RegEAX+i] = g.R[i]
+	}
+	c.R[rawisa.RegFlags] = g.Flags
+}
+
+// StoreGuest writes the pinned registers back to guest state.
+func (c *CPU) StoreGuest(g *guest.CPU) {
+	for i := 0; i < 8; i++ {
+		g.R[i] = c.R[rawisa.RegEAX+i]
+	}
+	g.Flags = c.R[rawisa.RegFlags] & 0xfff
+}
+
+// Fault is a host-level execution fault (bad opcode, divide error,
+// assist fault).
+type Fault struct {
+	Index  int
+	Reason string
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("rawexec: fault at code index %d: %s", f.Index, f.Reason)
+}
+
+// Exit describes why Exec returned.
+type Exit struct {
+	NextPC uint32 // next guest PC to dispatch
+	Insts  uint64 // host instructions retired
+	// Interrupted is set when a chained jump was suppressed because
+	// the Env reported an interrupt; ChainIdx then holds the arena
+	// index the suppressed jump targeted (a block entry) and NextPC is
+	// not meaningful until the caller resolves it.
+	Interrupted bool
+	ChainIdx    int
+}
+
+// MulLatency is the result latency of MULT/DIV before MFHI/MFLO.
+const MulLatency = 4
+
+// BranchPenalty is the pipeline-refill cost of a taken branch or jump
+// on the 8-stage in-order tile (static not-taken prediction).
+const BranchPenalty = 2
+
+// Exec runs host code within arena starting at index start until an
+// exit instruction. maxInsts bounds execution (0 = unbounded) for
+// tests; inside the machine the simulator's time limit is the watchdog.
+func Exec(cpu *CPU, arena []rawisa.Inst, start int, clk Clock, env Env, maxInsts uint64) (Exit, error) {
+	pcIdx := start
+	var insts uint64
+
+	use := func(r uint8) uint32 {
+		if t := cpu.ready[r]; t > clk.Now() {
+			clk.Tick(t - clk.Now())
+		}
+		return cpu.R[r]
+	}
+	def := func(r uint8, v uint32) {
+		if r != 0 {
+			cpu.R[r] = v
+			cpu.ready[r] = 0
+		}
+	}
+	defAt := func(r uint8, v uint32, ready uint64) {
+		if r != 0 {
+			cpu.R[r] = v
+			cpu.ready[r] = ready
+		}
+	}
+
+	for {
+		if pcIdx < 0 || pcIdx >= len(arena) {
+			return Exit{}, &Fault{Index: pcIdx, Reason: "execution ran outside code arena"}
+		}
+		if maxInsts != 0 && insts >= maxInsts {
+			return Exit{}, &Fault{Index: pcIdx, Reason: "instruction budget exhausted"}
+		}
+		in := arena[pcIdx]
+		insts++
+		clk.Tick(1)
+		next := pcIdx + 1
+
+		switch in.Op {
+		case rawisa.NOP:
+		case rawisa.LUI:
+			def(in.Rd, uint32(in.Imm)<<16)
+		case rawisa.ADDI:
+			def(in.Rd, use(in.Rs)+uint32(in.Imm))
+		case rawisa.ANDI:
+			def(in.Rd, use(in.Rs)&uint32(uint16(in.Imm)))
+		case rawisa.ORI:
+			def(in.Rd, use(in.Rs)|uint32(uint16(in.Imm)))
+		case rawisa.XORI:
+			def(in.Rd, use(in.Rs)^uint32(uint16(in.Imm)))
+		case rawisa.SLTI:
+			def(in.Rd, b2u(int32(use(in.Rs)) < in.Imm))
+		case rawisa.SLTIU:
+			def(in.Rd, b2u(use(in.Rs) < uint32(in.Imm)))
+		case rawisa.SLLI:
+			def(in.Rd, use(in.Rs)<<uint(in.Imm&31))
+		case rawisa.SRLI:
+			def(in.Rd, use(in.Rs)>>uint(in.Imm&31))
+		case rawisa.SRAI:
+			def(in.Rd, uint32(int32(use(in.Rs))>>uint(in.Imm&31)))
+
+		case rawisa.ADD:
+			def(in.Rd, use(in.Rs)+use(in.Rt))
+		case rawisa.SUB:
+			def(in.Rd, use(in.Rs)-use(in.Rt))
+		case rawisa.AND:
+			def(in.Rd, use(in.Rs)&use(in.Rt))
+		case rawisa.OR:
+			def(in.Rd, use(in.Rs)|use(in.Rt))
+		case rawisa.XOR:
+			def(in.Rd, use(in.Rs)^use(in.Rt))
+		case rawisa.NOR:
+			def(in.Rd, ^(use(in.Rs) | use(in.Rt)))
+		case rawisa.SLT:
+			def(in.Rd, b2u(int32(use(in.Rs)) < int32(use(in.Rt))))
+		case rawisa.SLTU:
+			def(in.Rd, b2u(use(in.Rs) < use(in.Rt)))
+		case rawisa.SLL:
+			def(in.Rd, use(in.Rt)<<(use(in.Rs)&31))
+		case rawisa.SRL:
+			def(in.Rd, use(in.Rt)>>(use(in.Rs)&31))
+		case rawisa.SRA:
+			def(in.Rd, uint32(int32(use(in.Rt))>>(use(in.Rs)&31)))
+
+		case rawisa.MULT:
+			wide := int64(int32(use(in.Rs))) * int64(int32(use(in.Rt)))
+			cpu.LO, cpu.HI = uint32(wide), uint32(uint64(wide)>>32)
+			cpu.readyMD = clk.Now() + MulLatency
+		case rawisa.MULTU:
+			wide := uint64(use(in.Rs)) * uint64(use(in.Rt))
+			cpu.LO, cpu.HI = uint32(wide), uint32(wide>>32)
+			cpu.readyMD = clk.Now() + MulLatency
+		case rawisa.DIV:
+			d := int32(use(in.Rt))
+			n := int32(use(in.Rs))
+			if d == 0 {
+				return Exit{}, &Fault{Index: pcIdx, Reason: "integer divide by zero"}
+			}
+			if n == -1<<31 && d == -1 {
+				cpu.LO, cpu.HI = uint32(n), 0
+			} else {
+				cpu.LO, cpu.HI = uint32(n/d), uint32(n%d)
+			}
+			cpu.readyMD = clk.Now() + MulLatency
+		case rawisa.DIVU:
+			d := use(in.Rt)
+			if d == 0 {
+				return Exit{}, &Fault{Index: pcIdx, Reason: "integer divide by zero"}
+			}
+			n := use(in.Rs)
+			cpu.LO, cpu.HI = n/d, n%d
+			cpu.readyMD = clk.Now() + MulLatency
+		case rawisa.MFHI:
+			defAt(in.Rd, cpu.HI, cpu.readyMD)
+		case rawisa.MFLO:
+			defAt(in.Rd, cpu.LO, cpu.readyMD)
+
+		case rawisa.LW:
+			addr := (use(in.Rs) + uint32(in.Imm)) / 4 % scratchWords
+			defAt(in.Rd, cpu.Scratch[addr], clk.Now()+2)
+		case rawisa.SW:
+			addr := (use(in.Rs) + uint32(in.Imm)) / 4 % scratchWords
+			cpu.Scratch[addr] = use(in.Rt)
+
+		case rawisa.BEQ:
+			if use(in.Rs) == use(in.Rt) {
+				next = pcIdx + 1 + int(in.Imm)
+				clk.Tick(BranchPenalty)
+			}
+		case rawisa.BNE:
+			if use(in.Rs) != use(in.Rt) {
+				next = pcIdx + 1 + int(in.Imm)
+				clk.Tick(BranchPenalty)
+			}
+		case rawisa.BLEZ:
+			if int32(use(in.Rs)) <= 0 {
+				next = pcIdx + 1 + int(in.Imm)
+				clk.Tick(BranchPenalty)
+			}
+		case rawisa.BGTZ:
+			if int32(use(in.Rs)) > 0 {
+				next = pcIdx + 1 + int(in.Imm)
+				clk.Tick(BranchPenalty)
+			}
+		case rawisa.BLTZ:
+			if int32(use(in.Rs)) < 0 {
+				next = pcIdx + 1 + int(in.Imm)
+				clk.Tick(BranchPenalty)
+			}
+		case rawisa.BGEZ:
+			if int32(use(in.Rs)) >= 0 {
+				next = pcIdx + 1 + int(in.Imm)
+				clk.Tick(BranchPenalty)
+			}
+		case rawisa.J:
+			if env.Interrupted() {
+				// Do not follow the chain: the target block may have
+				// been invalidated. Hand the entry index back to the
+				// dispatch loop for resolution.
+				return Exit{Interrupted: true, ChainIdx: int(in.Target), Insts: insts}, nil
+			}
+			next = int(in.Target)
+			clk.Tick(BranchPenalty)
+		case rawisa.JAL:
+			def(rawisa.RegLink, uint32(pcIdx+1))
+			next = int(in.Target)
+			clk.Tick(BranchPenalty)
+		case rawisa.JR:
+			next = int(use(in.Rs))
+			clk.Tick(BranchPenalty)
+
+		case rawisa.GLB, rawisa.GLBU, rawisa.GLH, rawisa.GLHU, rawisa.GLW:
+			addr := use(in.Rs)
+			size := uint8(in.Op.GuestAccessBytes())
+			signed := in.Op == rawisa.GLB || in.Op == rawisa.GLH
+			v, readyAt := env.GuestLoad(addr, size, signed)
+			defAt(in.Rd, v, readyAt)
+		case rawisa.GSB, rawisa.GSH, rawisa.GSW:
+			addr := use(in.Rs)
+			v := use(in.Rt)
+			env.GuestStore(addr, v, uint8(in.Op.GuestAccessBytes()))
+
+		case rawisa.SYSC:
+			env.Syscall(cpu)
+			if env.Stopped() {
+				return Exit{NextPC: 0, Insts: insts}, nil
+			}
+
+		case rawisa.ASSIST:
+			if err := env.Assist(in.Target, cpu); err != nil {
+				return Exit{}, &Fault{Index: pcIdx, Reason: err.Error()}
+			}
+
+		case rawisa.EXITI, rawisa.CHAIN:
+			return Exit{NextPC: in.Target, Insts: insts}, nil
+		case rawisa.EXITR:
+			return Exit{NextPC: use(in.Rs), Insts: insts}, nil
+
+		default:
+			return Exit{}, &Fault{Index: pcIdx, Reason: fmt.Sprintf("bad opcode %v", in.Op)}
+		}
+		pcIdx = next
+	}
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}

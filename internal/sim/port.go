@@ -1,0 +1,136 @@
+package sim
+
+import "container/heap"
+
+// A Msg is a message in flight or delivered to a Port. Payload is the
+// user value; Arrival is the virtual time at which it becomes visible to
+// the receiver; From identifies the sender (for tile kernels, a tile
+// index) and is available for routing replies.
+type Msg struct {
+	Payload any
+	Arrival Time
+	From    int
+	seq     uint64
+}
+
+type msgHeap []Msg
+
+func (h msgHeap) Len() int { return len(h) }
+func (h msgHeap) Less(i, j int) bool {
+	if h[i].Arrival != h[j].Arrival {
+		return h[i].Arrival < h[j].Arrival
+	}
+	return h[i].seq < h[j].seq
+}
+func (h msgHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *msgHeap) Push(x any)   { *h = append(*h, x.(Msg)) }
+func (h *msgHeap) Pop() any     { old := *h; n := len(old); m := old[n-1]; *h = old[:n-1]; return m }
+
+// A Port is an ordered message queue, the endpoint of a simulated
+// network link or hardware FIFO. Messages are delivered in arrival-time
+// order (FIFO among equal arrivals). At most one process may block in
+// Recv on a port at a time.
+type Port struct {
+	sim    *Simulator
+	name   string
+	q      msgHeap
+	waiter *Proc
+	seq    uint64
+}
+
+// NewPort creates a port attached to the simulator.
+func (s *Simulator) NewPort(name string) *Port {
+	return &Port{sim: s, name: name}
+}
+
+// Name returns the port name.
+func (pt *Port) Name() string { return pt.name }
+
+// Len returns the number of queued messages, including ones whose
+// arrival time is still in the future.
+func (pt *Port) Len() int { return len(pt.q) }
+
+// Send enqueues a message arriving at the given time, waking a blocked
+// receiver if necessary. It may be called from any process (the sender's
+// own local time is not consulted; compute arrival with p.Now() plus the
+// modeled transit latency before calling). Send never blocks: link
+// back-pressure is modeled by the receiver's service occupancy.
+func (pt *Port) Send(from int, payload any, arrival Time) {
+	pt.seq++
+	heap.Push(&pt.q, Msg{Payload: payload, Arrival: arrival, From: from, seq: pt.seq})
+	w := pt.waiter
+	if w == nil {
+		return
+	}
+	at := arrival
+	if at < pt.sim.now {
+		at = pt.sim.now
+	}
+	switch {
+	case w.state == parkBlocked:
+		pt.sim.schedule(w, at)
+	case w.state == parkRunnable && at < w.wakeAt:
+		// The waiter is sleeping until a later message (or a Recv
+		// deadline); this message lands earlier, so wake it sooner.
+		pt.sim.schedule(w, at)
+	}
+}
+
+// Recv blocks the calling process until a message is available (its
+// arrival time has been reached), then removes and returns it. Any
+// accrued local time is synchronized first.
+func (p *Proc) Recv(pt *Port) Msg {
+	p.Sync()
+	for {
+		if len(pt.q) > 0 && pt.q[0].Arrival <= p.sim.now {
+			return heap.Pop(&pt.q).(Msg)
+		}
+		if pt.waiter != nil && pt.waiter != p {
+			panic("sim: two processes blocked in Recv on port " + pt.name)
+		}
+		pt.waiter = p
+		if len(pt.q) > 0 {
+			// Earliest message is in the future: sleep until it lands.
+			p.sim.schedule(p, pt.q[0].Arrival)
+			p.park()
+		} else {
+			p.block()
+		}
+		pt.waiter = nil
+	}
+}
+
+// TryRecv returns a message if one is available now, without blocking.
+func (p *Proc) TryRecv(pt *Port) (Msg, bool) {
+	p.Sync()
+	if len(pt.q) > 0 && pt.q[0].Arrival <= p.sim.now {
+		return heap.Pop(&pt.q).(Msg), true
+	}
+	return Msg{}, false
+}
+
+// RecvDeadline blocks until a message is available or virtual time
+// reaches the deadline, whichever comes first. The boolean is false on
+// timeout. A deadline in the past polls.
+func (p *Proc) RecvDeadline(pt *Port, deadline Time) (Msg, bool) {
+	p.Sync()
+	for {
+		if len(pt.q) > 0 && pt.q[0].Arrival <= p.sim.now {
+			return heap.Pop(&pt.q).(Msg), true
+		}
+		if p.sim.now >= deadline {
+			return Msg{}, false
+		}
+		if pt.waiter != nil && pt.waiter != p {
+			panic("sim: two processes blocked in Recv on port " + pt.name)
+		}
+		pt.waiter = p
+		at := deadline
+		if len(pt.q) > 0 && pt.q[0].Arrival < at {
+			at = pt.q[0].Arrival
+		}
+		p.sim.schedule(p, at)
+		p.park()
+		pt.waiter = nil
+	}
+}

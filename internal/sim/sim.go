@@ -1,0 +1,264 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// A Simulator owns a set of processes, each running in its own goroutine
+// but with strictly sequential, deterministic interleaving: exactly one
+// process executes at a time, and runnable processes are dispatched in
+// (virtual time, process id, enqueue order) order. Processes model tile
+// kernels in the Raw machine simulation; they advance virtual time with
+// Advance, exchange messages through Ports, and may stop the whole
+// simulation with Stop.
+//
+// Virtual time is measured in cycles (uint64). The kernel never invents
+// time: it only moves to timestamps that processes or messages carry, so
+// two runs of the same program are bit-for-bit identical.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in virtual time, in cycles.
+type Time = uint64
+
+// event is a scheduled wakeup for a process. wake matches the process's
+// wakeSeq at scheduling time; a mismatch at dispatch means the event was
+// superseded by a later (earlier-in-time) schedule and is skipped.
+type event struct {
+	at   Time
+	pid  int
+	seq  uint64
+	proc *Proc
+	wake uint64
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].pid != h[j].pid {
+		return h[i].pid < h[j].pid
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Simulator is a deterministic discrete-event scheduler.
+type Simulator struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	procs   []*Proc
+	parked  chan struct{} // signalled by a proc when it parks or exits
+	stopped bool
+	limit   Time // 0 means no limit
+	started bool
+}
+
+// New returns an empty simulator.
+func New() *Simulator {
+	return &Simulator{parked: make(chan struct{})}
+}
+
+// Now returns the current virtual time. Inside a process body, prefer
+// Proc.Now, which includes the process's accumulated (not yet synced)
+// local cycles.
+func (s *Simulator) Now() Time { return s.now }
+
+// SetLimit aborts the simulation when virtual time reaches t.
+// A limit of 0 (the default) means no limit.
+func (s *Simulator) SetLimit(t Time) { s.limit = t }
+
+// Stopped reports whether Stop has been called (or the time limit hit).
+func (s *Simulator) Stopped() bool { return s.stopped }
+
+// errKilled unwinds a process goroutine when the simulation ends
+// before the process body returns.
+type errKilled struct{}
+
+// parkKind distinguishes why a process is parked.
+type parkKind int
+
+const (
+	parkRunnable parkKind = iota // has a wakeup event in the heap
+	parkBlocked                  // waiting on a port; no event scheduled
+	parkDone                     // process body returned
+)
+
+// Proc is a simulation process. All methods must be called from within
+// the process's own body function.
+type Proc struct {
+	sim     *Simulator
+	id      int
+	name    string
+	resume  chan struct{}
+	state   parkKind
+	local   Time // cycles accumulated since last sync
+	killed  bool
+	body    func(*Proc)
+	wakeSeq uint64
+	wakeAt  Time
+}
+
+// Spawn registers a new process. The body runs when Run is called.
+// Processes are dispatched in id order on ties, and ids are assigned in
+// spawn order.
+func (s *Simulator) Spawn(name string, body func(*Proc)) *Proc {
+	if s.started {
+		panic("sim: Spawn after Run")
+	}
+	p := &Proc{
+		sim:    s,
+		id:     len(s.procs),
+		name:   name,
+		resume: make(chan struct{}),
+		body:   body,
+	}
+	s.procs = append(s.procs, p)
+	return p
+}
+
+// schedule enqueues a wakeup for p at time at, superseding any
+// previously scheduled wakeup.
+func (s *Simulator) schedule(p *Proc, at Time) {
+	s.seq++
+	p.wakeSeq++
+	p.wakeAt = at
+	heap.Push(&s.events, event{at: at, pid: p.id, seq: s.seq, proc: p, wake: p.wakeSeq})
+	p.state = parkRunnable
+}
+
+// Run executes the simulation until Stop is called, the time limit is
+// reached, or no process has a pending event (global quiescence, which
+// for a well-formed machine means deadlock and is reported as an error).
+func (s *Simulator) Run() error {
+	if s.started {
+		panic("sim: Run called twice")
+	}
+	s.started = true
+	for _, p := range s.procs {
+		p := p
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(errKilled); ok {
+						p.state = parkDone
+						s.parked <- struct{}{}
+						return
+					}
+					panic(r)
+				}
+			}()
+			// Wait for first dispatch.
+			<-p.resume
+			if p.killed {
+				panic(errKilled{})
+			}
+			p.body(p)
+			p.state = parkDone
+			s.parked <- struct{}{}
+		}()
+		s.schedule(p, 0)
+	}
+
+	var err error
+	for len(s.events) > 0 && !s.stopped {
+		ev := heap.Pop(&s.events).(event)
+		if ev.proc.state != parkRunnable || ev.wake != ev.proc.wakeSeq {
+			continue // superseded or stale event
+		}
+		if s.limit != 0 && ev.at > s.limit {
+			s.stopped = true
+			err = fmt.Errorf("sim: time limit %d exceeded", s.limit)
+			break
+		}
+		s.now = ev.at
+		ev.proc.state = parkBlocked // will be updated when it parks
+		ev.proc.resume <- struct{}{}
+		<-s.parked
+	}
+	if !s.stopped && len(s.events) == 0 {
+		// Quiescence: fine if every proc is done, deadlock otherwise.
+		for _, p := range s.procs {
+			if p.state == parkBlocked {
+				err = fmt.Errorf("sim: deadlock: process %q blocked with no pending events", p.name)
+				break
+			}
+		}
+	}
+	s.kill()
+	return err
+}
+
+// kill unwinds all parked goroutines.
+func (s *Simulator) kill() {
+	s.stopped = true
+	for _, p := range s.procs {
+		if p.state == parkDone {
+			continue
+		}
+		p.killed = true
+		p.resume <- struct{}{}
+		<-s.parked
+	}
+}
+
+// Stop ends the simulation after the calling process parks.
+func (p *Proc) Stop() { p.sim.stopped = true }
+
+// ID returns the process id (spawn order).
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the process name.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the process's current local virtual time, including
+// accumulated cycles not yet synchronized with the scheduler.
+func (p *Proc) Now() Time { return p.sim.now + p.local }
+
+// Tick accrues d cycles of purely local work without yielding to the
+// scheduler. The accrued time becomes visible at the next Advance, Send,
+// Recv, or Sync.
+func (p *Proc) Tick(d Time) { p.local += d }
+
+// Sync yields to the scheduler until the process's accrued local time
+// has elapsed in virtual time. It is a no-op if no time is accrued.
+func (p *Proc) Sync() {
+	if p.local == 0 {
+		return
+	}
+	d := p.local
+	p.local = 0
+	p.advance(d)
+}
+
+// Advance accrues d cycles and yields until they have elapsed.
+func (p *Proc) Advance(d Time) {
+	p.local += d
+	p.Sync()
+}
+
+func (p *Proc) advance(d Time) {
+	p.sim.schedule(p, p.sim.now+d)
+	p.park()
+}
+
+// park hands control back to the scheduler and blocks until resumed.
+func (p *Proc) park() {
+	p.sim.parked <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(errKilled{})
+	}
+}
+
+// block parks with no scheduled wakeup; a Port send must wake it.
+func (p *Proc) block() {
+	p.state = parkBlocked
+	p.park()
+}

@@ -1,0 +1,52 @@
+package translate
+
+import (
+	"errors"
+
+	"tilevm/internal/codegen"
+	"tilevm/internal/opt"
+	"tilevm/internal/rawisa"
+)
+
+// Result is a fully translated, executable block: finalized host code
+// plus the control-flow metadata.
+type Result struct {
+	*Block
+	// Code is the register-allocated, label-resolved host code.
+	Code []rawisa.Inst
+	// CodeBytes is the encoded size, the unit of code-cache accounting.
+	CodeBytes int
+	// Optimized records whether the optimizer ran.
+	Optimized bool
+}
+
+// TranslateFinal runs the full pipeline: block discovery, flag
+// liveness, lowering, optimization (if enabled), and register
+// allocation. If the block exceeds the host temporary register budget
+// it is retried at smaller sizes, as a real translator splits
+// oversized superblocks.
+func (t *Translator) TranslateFinal(mem CodeReader, addr uint32) (*Result, error) {
+	for _, cap := range []int{MaxBlockInsts, 8, 2, 1} {
+		blk, err := t.translate(mem, addr, cap)
+		if err != nil {
+			return nil, err
+		}
+		if t.Opts.Optimize {
+			opt.Run(blk.Block)
+		}
+		code, err := codegen.Finalize(blk.Block)
+		if errors.Is(err, codegen.ErrRegPressure) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Block:     blk,
+			Code:      code,
+			CodeBytes: rawisa.CodeBytes(code),
+			Optimized: t.Opts.Optimize,
+		}, nil
+	}
+	return nil, &Error{Addr: addr, Reason: "register pressure irreducible at single-instruction block"}
+}

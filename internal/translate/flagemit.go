@@ -1,0 +1,279 @@
+package translate
+
+import (
+	"tilevm/internal/ir"
+	"tilevm/internal/rawisa"
+	"tilevm/internal/x86"
+)
+
+// Flag materialization: host instruction sequences that compute the
+// live EFLAGS bits of an operation and merge them into the packed
+// flags register (rawisa.RegFlags, x86 bit layout). Only the bits in
+// the live mask are computed; dead bits are left stale, which is what
+// dead-flag elimination buys.
+
+const fr = rawisa.RegFlags
+
+// allFlagBits covers every flag bit we ever store (≤ bit 11).
+const allFlagBits = 0xfff
+
+// clearFlags emits f &= ^bits (bits confined to the low 12).
+func clearFlags(bl *ir.Builder, bits uint32) {
+	if bits == 0 {
+		return
+	}
+	bl.OpI(rawisa.ANDI, fr, fr, int32(allFlagBits&^bits))
+}
+
+// orFlag emits f |= t where t holds a flag bit already in position.
+func orFlag(bl *ir.Builder, t uint8) { bl.Op3(rawisa.OR, fr, fr, t) }
+
+// emitZF computes ZF from a result (already masked to size) and merges it.
+func emitZF(bl *ir.Builder, r uint8) {
+	t := bl.VReg()
+	bl.OpI(rawisa.SLTIU, t, r, 1) // t = (r == 0)
+	bl.OpI(rawisa.SLLI, t, t, 6)
+	orFlag(bl, t)
+}
+
+// emitSF extracts the sign bit of a masked result into flag bit 7.
+func emitSF(bl *ir.Builder, r uint8, size uint8) {
+	t := bl.VReg()
+	switch size {
+	case 1:
+		bl.OpI(rawisa.ANDI, t, r, 0x80)
+	case 2:
+		bl.OpI(rawisa.SRLI, t, r, 8)
+		bl.OpI(rawisa.ANDI, t, t, 0x80)
+	default:
+		bl.OpI(rawisa.SRLI, t, r, 24)
+		bl.OpI(rawisa.ANDI, t, t, 0x80)
+	}
+	orFlag(bl, t)
+}
+
+// emitPF computes the x86 parity flag (even parity of the low byte)
+// into bit 2. This is the most expensive flag; dead-flag elimination
+// removes it almost everywhere.
+func emitPF(bl *ir.Builder, r uint8) {
+	t := bl.VReg()
+	u := bl.VReg()
+	bl.OpI(rawisa.ANDI, t, r, 0xff)
+	bl.OpI(rawisa.SRLI, u, t, 4)
+	bl.Op3(rawisa.XOR, t, t, u)
+	bl.OpI(rawisa.SRLI, u, t, 2)
+	bl.Op3(rawisa.XOR, t, t, u)
+	bl.OpI(rawisa.SRLI, u, t, 1)
+	bl.Op3(rawisa.XOR, t, t, u)
+	bl.OpI(rawisa.XORI, t, t, 1)
+	bl.OpI(rawisa.ANDI, t, t, 1)
+	bl.OpI(rawisa.SLLI, t, t, 2)
+	orFlag(bl, t)
+}
+
+// emitAF computes the auxiliary carry (bit 4 of a^b^r; the flag's bit
+// position is also 4, so no shift is needed).
+func emitAF(bl *ir.Builder, a, b, r uint8) {
+	t := bl.VReg()
+	bl.Op3(rawisa.XOR, t, a, b)
+	bl.Op3(rawisa.XOR, t, t, r)
+	bl.OpI(rawisa.ANDI, t, t, 0x10)
+	orFlag(bl, t)
+}
+
+// emitBit01 merges a 0/1 value at the given flag bit position.
+func emitBit01(bl *ir.Builder, t uint8, pos uint) {
+	if pos != 0 {
+		bl.OpI(rawisa.SLLI, t, t, int32(pos))
+	}
+	orFlag(bl, t)
+}
+
+// arithFlags describes one ALU operation for flag generation.
+type arithFlags struct {
+	a, b uint8 // operand registers (masked to size for sub-32-bit ops)
+	r    uint8 // result, masked to size
+	sum  uint8 // unmasked result (sub-32-bit adds/subs); 0 if n/a
+	cin  uint8 // carry/borrow-in register (0/1), or 0xff if none
+	size uint8
+	sub  bool
+}
+
+// emitArithFlags materializes the live subset of CF/PF/AF/ZF/SF/OF for
+// an addition or subtraction.
+func emitArithFlags(bl *ir.Builder, f arithFlags, live uint32) {
+	live &= x86.FlagsArith
+	if live == 0 {
+		return
+	}
+	clearFlags(bl, live)
+	if live&x86.FlagCF != 0 {
+		emitCF(bl, f)
+	}
+	if live&x86.FlagOF != 0 {
+		emitOF(bl, f)
+	}
+	if live&x86.FlagAF != 0 {
+		emitAF(bl, f.a, f.b, f.r)
+	}
+	if live&x86.FlagZF != 0 {
+		emitZF(bl, f.r)
+	}
+	if live&x86.FlagSF != 0 {
+		emitSF(bl, f.r, f.size)
+	}
+	if live&x86.FlagPF != 0 {
+		emitPF(bl, f.r)
+	}
+}
+
+func emitCF(bl *ir.Builder, f arithFlags) {
+	t := bl.VReg()
+	switch {
+	case f.size != 4 && !f.sub:
+		// Carry is bit `bits` of the unmasked sum.
+		bl.OpI(rawisa.SRLI, t, f.sum, int32(f.size)*8)
+		bl.OpI(rawisa.ANDI, t, t, 1)
+	case f.size != 4 && f.sub:
+		// Borrow: a < b + bin (all values < 2^16, no overflow).
+		b := f.b
+		if f.cin != 0xff {
+			bsum := bl.VReg()
+			bl.Op3(rawisa.ADD, bsum, f.b, f.cin)
+			b = bsum
+		}
+		bl.Op3(rawisa.SLTU, t, f.a, b)
+	case !f.sub && f.cin == 0xff:
+		bl.Op3(rawisa.SLTU, t, f.r, f.a) // r < a unsigned means carry
+	case !f.sub:
+		// With carry-in: carry out of a+b, or out of (a+b)+cin.
+		// f.sum holds a+b (the pre-carry sum) in the 32-bit case.
+		t2 := bl.VReg()
+		bl.Op3(rawisa.SLTU, t, f.sum, f.a)
+		bl.Op3(rawisa.SLTU, t2, f.r, f.sum)
+		bl.Op3(rawisa.OR, t, t, t2)
+	case f.cin == 0xff:
+		bl.Op3(rawisa.SLTU, t, f.a, f.b)
+	default:
+		// Borrow with borrow-in: (a < b) || (a-b < bin).
+		t2 := bl.VReg()
+		bl.Op3(rawisa.SLTU, t, f.a, f.b)
+		bl.Op3(rawisa.SLTU, t2, f.sum, f.cin) // f.sum = a-b here
+		bl.Op3(rawisa.OR, t, t, t2)
+	}
+	emitBit01(bl, t, 0)
+}
+
+func emitOF(bl *ir.Builder, f arithFlags) {
+	t := bl.VReg()
+	u := bl.VReg()
+	if f.sub {
+		bl.Op3(rawisa.XOR, t, f.a, f.b)
+		bl.Op3(rawisa.XOR, u, f.a, f.r)
+	} else {
+		bl.Op3(rawisa.XOR, t, f.a, f.r)
+		bl.Op3(rawisa.XOR, u, f.b, f.r)
+	}
+	bl.Op3(rawisa.AND, t, t, u)
+	// Move the operand sign bit to flag bit 11.
+	switch f.size {
+	case 1: // bit 7 → 11
+		bl.OpI(rawisa.SLLI, t, t, 4)
+		bl.OpI(rawisa.ANDI, t, t, 0x800)
+	case 2: // bit 15 → 11
+		bl.OpI(rawisa.SRLI, t, t, 4)
+		bl.OpI(rawisa.ANDI, t, t, 0x800)
+	default: // bit 31 → 11
+		bl.OpI(rawisa.SRLI, t, t, 20)
+		bl.OpI(rawisa.ANDI, t, t, 0x800)
+	}
+	orFlag(bl, t)
+}
+
+// emitLogicFlags materializes flags for AND/OR/XOR/TEST: CF=OF=AF=0,
+// SZP from the result.
+func emitLogicFlags(bl *ir.Builder, r uint8, size uint8, live uint32) {
+	live &= x86.FlagsArith
+	if live == 0 {
+		return
+	}
+	clearFlags(bl, live) // clears CF/OF/AF to their defined zero values
+	if live&x86.FlagZF != 0 {
+		emitZF(bl, r)
+	}
+	if live&x86.FlagSF != 0 {
+		emitSF(bl, r, size)
+	}
+	if live&x86.FlagPF != 0 {
+		emitPF(bl, r)
+	}
+}
+
+// emitMulFlags materializes flags after a widening multiply: CF=OF set
+// when hiSig (a 0/1 register) is 1; SZP from lo; AF=0.
+func emitMulFlags(bl *ir.Builder, lo, hiSig uint8, size uint8, live uint32) {
+	live &= x86.FlagsArith
+	if live == 0 {
+		return
+	}
+	clearFlags(bl, live)
+	if live&(x86.FlagCF|x86.FlagOF) != 0 {
+		t := bl.VReg()
+		if live&x86.FlagCF != 0 {
+			bl.Move(t, hiSig)
+			orFlag(bl, t)
+		}
+		if live&x86.FlagOF != 0 {
+			bl.OpI(rawisa.SLLI, t, hiSig, 11)
+			orFlag(bl, t)
+		}
+	}
+	if live&x86.FlagZF != 0 {
+		emitZF(bl, lo)
+	}
+	if live&x86.FlagSF != 0 {
+		emitSF(bl, lo, size)
+	}
+	if live&x86.FlagPF != 0 {
+		emitPF(bl, lo)
+	}
+}
+
+// condTest emits code computing a truthy register for the *base*
+// (even-numbered) condition of pair c: the returned register is nonzero
+// iff the base condition holds. The caller branches on != 0 for even
+// conditions and == 0 for odd ones.
+func condTest(bl *ir.Builder, c x86.Cond) uint8 {
+	t := bl.VReg()
+	switch c &^ 1 {
+	case x86.CondO:
+		bl.OpI(rawisa.ANDI, t, fr, int32(x86.FlagOF))
+	case x86.CondB:
+		bl.OpI(rawisa.ANDI, t, fr, int32(x86.FlagCF))
+	case x86.CondE:
+		bl.OpI(rawisa.ANDI, t, fr, int32(x86.FlagZF))
+	case x86.CondBE:
+		bl.OpI(rawisa.ANDI, t, fr, int32(x86.FlagCF|x86.FlagZF))
+	case x86.CondS:
+		bl.OpI(rawisa.ANDI, t, fr, int32(x86.FlagSF))
+	case x86.CondP:
+		bl.OpI(rawisa.ANDI, t, fr, int32(x86.FlagPF))
+	case x86.CondL:
+		// SF != OF: align SF (bit 7) with OF (bit 11) and XOR.
+		u := bl.VReg()
+		bl.OpI(rawisa.SLLI, t, fr, 4)
+		bl.OpI(rawisa.ANDI, t, t, 0x800)
+		bl.OpI(rawisa.ANDI, u, fr, 0x800)
+		bl.Op3(rawisa.XOR, t, t, u)
+	case x86.CondLE:
+		// ZF || (SF != OF).
+		u := bl.VReg()
+		bl.OpI(rawisa.SLLI, t, fr, 4)
+		bl.OpI(rawisa.ANDI, t, t, 0x800)
+		bl.OpI(rawisa.ANDI, u, fr, 0x800)
+		bl.Op3(rawisa.XOR, t, t, u)
+		bl.OpI(rawisa.ANDI, u, fr, int32(x86.FlagZF))
+		bl.Op3(rawisa.OR, t, t, u)
+	}
+	return t
+}

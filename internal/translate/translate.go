@@ -1,0 +1,176 @@
+// Package translate is the binary translator: it discovers guest basic
+// blocks, analyzes condition-code liveness (the paper's "extensive dead
+// flag elimination"), lowers x86 instructions to the MIPS-like IR, and
+// hands the result to the optimizer and register allocator. The output
+// is a relocatable translated block ready for the code caches.
+package translate
+
+import (
+	"fmt"
+
+	"tilevm/internal/ir"
+	"tilevm/internal/x86"
+)
+
+// CodeReader provides guest code bytes to the translator (implemented
+// by guest.Memory).
+type CodeReader interface {
+	CodeWindow(addr uint32, n int) []byte
+}
+
+// MaxBlockInsts bounds the number of guest instructions per block.
+const MaxBlockInsts = 32
+
+// maxVRegsPerBlock stops block growth before the virtual register
+// space (uint8) is exhausted; lowering one guest instruction never
+// allocates more than ~24 temporaries.
+const maxVRegsPerBlock = 190
+
+// ExitKind classifies how a translated block ends, which drives the
+// speculative translation engine's successor enqueueing policy.
+type ExitKind uint8
+
+const (
+	// ExitFall is an unconditional fallthrough/jump to Target.
+	ExitFall ExitKind = iota
+	// ExitBranch is a conditional branch: Target taken, FallTarget not.
+	ExitBranch
+	// ExitCall is a direct call: Target is the callee, FallTarget the
+	// return site (return-predictor hint, low priority).
+	ExitCall
+	// ExitIndirect is a register-indirect jump or indirect call; the
+	// successor is unknown at translation time. For indirect calls
+	// FallTarget still holds the return site.
+	ExitIndirect
+	// ExitRet is a function return (successor via return predictor).
+	ExitRet
+)
+
+func (k ExitKind) String() string {
+	switch k {
+	case ExitFall:
+		return "fall"
+	case ExitBranch:
+		return "branch"
+	case ExitCall:
+		return "call"
+	case ExitIndirect:
+		return "indirect"
+	case ExitRet:
+		return "ret"
+	}
+	return "?"
+}
+
+// Block is a translated block: the IR (later finalized host code) plus
+// the control-flow metadata the runtime engine needs.
+type Block struct {
+	*ir.Block
+	Kind       ExitKind
+	Target     uint32 // taken/call/jump target (ExitFall/Branch/Call)
+	FallTarget uint32 // fallthrough or call-return site
+	// BackwardTaken reports whether a conditional branch jumps
+	// backwards (static prediction: predict taken).
+	BackwardTaken bool
+}
+
+// Error is a translation failure.
+type Error struct {
+	Addr   uint32
+	Reason string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("translate: at %#x: %s", e.Addr, e.Reason)
+}
+
+// DiscoverBlock decodes the guest basic block starting at addr:
+// instructions up to and including the first control transfer, capped
+// at MaxBlockInsts.
+func DiscoverBlock(mem CodeReader, addr uint32) ([]x86.Inst, error) {
+	return discoverBlock(mem, addr, MaxBlockInsts)
+}
+
+func discoverBlock(mem CodeReader, addr uint32, cap int) ([]x86.Inst, error) {
+	var insts []x86.Inst
+	pc := addr
+	for len(insts) < cap {
+		window := mem.CodeWindow(pc, x86.MaxInstLen+4)
+		in, err := x86.Decode(window, pc)
+		if err != nil {
+			if len(insts) == 0 {
+				return nil, &Error{Addr: addr, Reason: err.Error()}
+			}
+			// A decodable prefix followed by garbage: end the block
+			// before the bad instruction; if control reaches it the
+			// runtime will fault there.
+			return insts, nil
+		}
+		insts = append(insts, in)
+		if in.EndsBlock() {
+			break
+		}
+		pc = in.Next()
+	}
+	return insts, nil
+}
+
+// Options controls translation.
+type Options struct {
+	// Optimize enables the optimizer passes (the paper's Figure 8
+	// comparison runs with this off and on).
+	Optimize bool
+	// ConservativeFlags disables the cross-block flag liveness
+	// lookahead, forcing all arithmetic flags live at block exits
+	// (ablation knob).
+	ConservativeFlags bool
+}
+
+// Translator translates guest code into IR blocks. It is stateless
+// apart from configuration and may be shared by multiple translation
+// slave tiles (each call is independent).
+type Translator struct {
+	Opts Options
+}
+
+// New returns a translator with the given options.
+func New(opts Options) *Translator { return &Translator{Opts: opts} }
+
+// Translate builds the translated block starting at addr (IR form,
+// before register allocation). Most callers want TranslateFinal.
+func (t *Translator) Translate(mem CodeReader, addr uint32) (*Block, error) {
+	return t.translate(mem, addr, MaxBlockInsts)
+}
+
+func (t *Translator) translate(mem CodeReader, addr uint32, cap int) (*Block, error) {
+	insts, err := discoverBlock(mem, addr, cap)
+	if err != nil {
+		return nil, err
+	}
+	live := flagLiveness(insts, mem, t.Opts.ConservativeFlags)
+	lo := newLowerer(addr)
+	for i := range insts {
+		if lo.bl.VRegsInUse() > maxVRegsPerBlock && i < len(insts)-1 && !insts[i].EndsBlock() {
+			// Out of temporaries: end the block early with a chain to
+			// the next instruction.
+			lo.endEarly(insts[i].Addr)
+			insts = insts[:i]
+			break
+		}
+		if err := lo.lower(&insts[i], live[i]); err != nil {
+			return nil, err
+		}
+	}
+	last := insts[len(insts)-1]
+	end := last.Next()
+	if !last.EndsBlock() && !lo.ended {
+		// Block hit the size cap: chain to the next instruction.
+		lo.bl.Chain(end)
+		lo.kind, lo.target = ExitFall, end
+	}
+	blk, err := lo.finish(end-addr, len(insts))
+	if err != nil {
+		return nil, &Error{Addr: addr, Reason: err.Error()}
+	}
+	return blk, nil
+}

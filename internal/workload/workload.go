@@ -1,0 +1,296 @@
+// Package workload generates synthetic SpecInt-like guest programs:
+// real x86 machine code whose structural parameters (static code
+// working set, per-phase instruction locality, data working set and
+// access pattern, branchiness, call depth, indirect-branch rate) are
+// calibrated per benchmark so the translation system behaves the way
+// the paper's SpecInt 2000 runs behave (see DESIGN.md §2 for the
+// substitution argument).
+//
+// Every program is deterministic (seeded), runs to completion, and
+// accumulates a checksum in EBX that it returns through exit(), so the
+// same binary can be verified across the reference interpreter, the
+// Pentium III baseline model, and the parallel translator.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tilevm/internal/guest"
+	"tilevm/internal/x86"
+)
+
+// Profile parameterizes one synthetic benchmark.
+type Profile struct {
+	Name string
+	Seed int64
+
+	// Code shape.
+	Funcs         int // number of generated functions
+	BlocksPerFunc int // basic-block chain length per function body
+	InstsPerBlock int // straight-line instructions per block
+	LoopIters     int // inner-loop trips per function call
+	CallDepth     int // extra nested call levels from some functions
+
+	// Drive.
+	Phases        int     // program phases (hot-set rotations)
+	CallsPerPhase int     // function calls per phase
+	HotFuncs      int     // size of the per-phase hot function set
+	IndirectFrac  float64 // fraction of call sites dispatched via table
+
+	// Data.
+	DataBytes    int     // data working set
+	PointerChase bool    // random ring chase vs strided access
+	MemFrac      float64 // fraction of block instructions touching memory
+	Memcpy       bool    // sprinkle REP MOVSD buffer copies
+}
+
+// layout constants within the data segment (all offsets from ESI).
+const (
+	tableOff = 0x0    // indirect-call table (256 slots)
+	copyOff  = 0x800  // memcpy staging buffer
+	ringOff  = 0x1000 // pointer-chase ring (chase profiles: DataBytes long)
+	arrayOff = 0x1000 // strided array (non-chase profiles)
+
+	// For pointer-chase profiles the strided array lives above the
+	// ring so stores cannot clobber the chase pointers; it is kept
+	// small so the data working set is dominated by the chase.
+	chaseArraySpan = 16 * 1024
+)
+
+// arrayBase returns the strided-array offset and span for the profile.
+func (p Profile) arrayBase() (off, span int) {
+	if p.PointerChase {
+		return ringOff + p.DataBytes, chaseArraySpan
+	}
+	return arrayOff, p.DataBytes
+}
+
+// Build generates the guest image.
+func (p Profile) Build() *guest.Image {
+	r := rand.New(rand.NewSource(p.Seed))
+	a := x86.NewAsm(guest.DefaultCodeBase)
+	dataBase := uint32(guest.DefaultHeapBase)
+
+	// ---- driver ----
+	a.MovRegImm(x86.ESI, dataBase)
+	a.MovRegImm(x86.EDI, dataBase+ringOff)
+	a.MovRegImm(x86.EBX, 0)
+	a.Cld()
+
+	hotStride := 0
+	if p.Phases > 1 && p.Funcs > p.HotFuncs {
+		hotStride = (p.Funcs - p.HotFuncs) / (p.Phases - 1)
+	}
+	for phase := 0; phase < p.Phases; phase++ {
+		base := phase * hotStride
+		for call := 0; call < p.CallsPerPhase; call++ {
+			f := base + r.Intn(p.HotFuncs)
+			if f >= p.Funcs {
+				f = p.Funcs - 1
+			}
+			if r.Float64() < p.IndirectFrac {
+				// Register-indirect dispatch through the function
+				// table: unresolvable for the speculative translator.
+				a.MovRegImm(x86.EDX, uint32(f))
+				a.CallMem(x86.MemIdx(x86.ESI, x86.EDX, 4, tableOff))
+			} else {
+				a.Call(fname(f))
+			}
+		}
+	}
+	a.ALU(x86.AND, x86.RegOp(x86.EBX, 4), x86.ImmOp(0x7f, 4))
+	a.MovRegImm(x86.EAX, 1)
+	a.Int(0x80)
+
+	// ---- functions ----
+	for f := 0; f < p.Funcs; f++ {
+		p.emitFunc(a, r, f)
+	}
+
+	code := a.Bytes()
+
+	// ---- data segments ----
+	data := p.buildData(a)
+
+	return &guest.Image{
+		Name:     p.Name,
+		Entry:    guest.DefaultCodeBase,
+		CodeBase: guest.DefaultCodeBase,
+		Code:     code,
+		Segments: []guest.Segment{{Addr: dataBase, Data: data}},
+	}
+}
+
+func fname(f int) string { return fmt.Sprintf("f%d", f) }
+
+// emitFunc generates one function: a counted loop over a chain of
+// basic blocks with data-dependent internal branches, a configurable
+// mix of memory traffic, and optional nested calls.
+func (p Profile) emitFunc(a *x86.Asm, r *rand.Rand, f int) {
+	a.Label(fname(f))
+	a.Push(x86.EBP)
+	a.MovRegReg(x86.EBP, x86.ESP)
+	a.ALU(x86.SUB, x86.RegOp(x86.ESP, 4), x86.ImmOp(16, 4))
+	a.MovMemImm(x86.Mem(x86.EBP, -4), uint32(p.LoopIters))
+
+	loop := fmt.Sprintf("f%d_loop", f)
+	a.Label(loop)
+	for b := 0; b < p.BlocksPerFunc; b++ {
+		p.emitBlock(a, r, f, b)
+	}
+	// Nested call chain: functions near the front of a depth window
+	// call the next function.
+	if p.CallDepth > 0 && f%3 == 0 && f+1 < p.Funcs && depthOf(f, 3) < p.CallDepth {
+		a.Call(fname(f + 1))
+	}
+	// dec dword [ebp-4]; jnz loop
+	a.Raw(0xFF, 0x4D, 0xFC)
+	a.Jcc(x86.CondNE, loop)
+
+	a.Leave()
+	a.Ret()
+}
+
+// depthOf bounds nested call chains: the chain f → f+1 → f+2 … only
+// continues while consecutive indices satisfy the f%3==0 entry rule
+// rarely, giving shallow trees; this helper caps pathological chains.
+func depthOf(f, k int) int {
+	d := 0
+	for f%k == 0 && f > 0 {
+		f /= k
+		d++
+	}
+	return d
+}
+
+// emitBlock generates one basic block of the body: InstsPerBlock
+// instructions followed by a data-dependent forward branch over a
+// small alternative block (so control flow is branchy but always
+// converges).
+func (p Profile) emitBlock(a *x86.Asm, r *rand.Rand, f, b int) {
+	scratch := []x86.Reg{x86.EAX, x86.ECX, x86.EDX}
+	reg := func() x86.Reg { return scratch[r.Intn(len(scratch))] }
+
+	for i := 0; i < p.InstsPerBlock; i++ {
+		if r.Float64() < p.MemFrac {
+			p.emitMemOp(a, r, reg)
+			continue
+		}
+		switch r.Intn(7) {
+		case 0:
+			a.ALU(x86.ADD, x86.RegOp(reg(), 4), x86.RegOp(reg(), 4))
+		case 1:
+			a.ALU(x86.XOR, x86.RegOp(reg(), 4), x86.ImmOp(int32(r.Uint32()&0xffff), 4))
+		case 2:
+			a.ALU(x86.ADD, x86.RegOp(x86.EBX, 4), x86.RegOp(reg(), 4))
+		case 3:
+			a.ShiftImm(x86.SHL, x86.RegOp(reg(), 4), uint8(1+r.Intn(7)))
+		case 4:
+			a.Lea(reg(), x86.MemIdx(x86.EBX, reg(), 2, int32(r.Intn(64))))
+		case 5:
+			a.IMulRegRMImm(reg(), x86.RegOp(reg(), 4), int32(3+r.Intn(13)))
+		case 6:
+			a.ALU(x86.SUB, x86.RegOp(reg(), 4), x86.ImmOp(int32(r.Intn(255)), 4))
+		}
+	}
+
+	// Data-dependent fork: skip a short alternative on odd checksum.
+	skip := fmt.Sprintf("f%d_b%d_skip", f, b)
+	a.TestImm(x86.RegOp(x86.EBX, 4), 1)
+	a.Jcc(x86.CondNE, skip)
+	a.ALU(x86.ADD, x86.RegOp(x86.EBX, 4), x86.ImmOp(int32(b*13+7), 4))
+	a.ShiftImm(x86.ROL, x86.RegOp(x86.EBX, 4), 1)
+	a.Label(skip)
+}
+
+// emitMemOp generates one memory instruction respecting the profile's
+// access pattern.
+func (p Profile) emitMemOp(a *x86.Asm, r *rand.Rand, reg func() x86.Reg) {
+	if p.PointerChase && r.Intn(3) == 0 {
+		// Chase step plus a payload load from the current node.
+		a.MovRegMem(x86.EDI, x86.Mem(x86.EDI, 0))
+		a.ALU(x86.ADD, x86.RegOp(x86.EBX, 4), x86.Mem(x86.EDI, 4))
+		return
+	}
+	if p.Memcpy && r.Intn(40) == 0 {
+		// Small buffer copy via REP MOVSD: save and restore the
+		// global cursor registers around the string op.
+		a.Push(x86.ESI)
+		a.Push(x86.EDI)
+		a.Lea(x86.EAX, x86.Mem(x86.ESI, copyOff))
+		a.MovRegReg(x86.EDI, x86.EAX)
+		a.Lea(x86.EAX, x86.Mem(x86.ESI, copyOff+0x200))
+		a.Push(x86.ESI)
+		a.MovRegReg(x86.ESI, x86.EAX)
+		a.MovRegImm(x86.ECX, 16)
+		a.RepMovsd()
+		a.Pop(x86.ESI)
+		a.Pop(x86.EDI)
+		a.Pop(x86.ESI)
+		return
+	}
+	base, span := p.arrayBase()
+	span -= 64
+	if span < 4 {
+		span = 4
+	}
+	off := int32(base + r.Intn(span/4)*4)
+	switch r.Intn(4) {
+	case 0:
+		a.MovRegMem(reg(), x86.Mem(x86.ESI, off))
+	case 1:
+		a.MovMemReg(x86.Mem(x86.ESI, off), reg())
+	case 2:
+		a.ALU(x86.ADD, x86.Mem(x86.ESI, off), x86.RegOp(reg(), 4))
+	case 3:
+		a.Movzx8(reg(), x86.Mem(x86.ESI, off))
+	}
+}
+
+// buildData constructs the initialized data segment: the indirect-call
+// table (function addresses, resolvable only after assembly) and the
+// pointer-chase ring.
+func (p Profile) buildData(a *x86.Asm) []byte {
+	size := ringOff + p.DataBytes + chaseArraySpan + 4096
+	data := make([]byte, size)
+
+	// Function table.
+	for f := 0; f < p.Funcs && f < 256; f++ {
+		addr := a.LabelAddr(fname(f))
+		put32(data, tableOff+f*4, addr)
+	}
+
+	// Pointer-chase ring: nodes every 64 bytes, shuffled into a single
+	// cycle (a Sattolo permutation), each node's word 0 pointing at the
+	// next node's guest address, word 1 a payload.
+	if p.PointerChase {
+		nodes := p.DataBytes / 64
+		if nodes < 2 {
+			nodes = 2
+		}
+		perm := make([]int, nodes)
+		for i := range perm {
+			perm[i] = i
+		}
+		r := rand.New(rand.NewSource(p.Seed ^ 0x5a5a))
+		for i := nodes - 1; i > 0; i-- {
+			j := r.Intn(i)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		base := uint32(guest.DefaultHeapBase) + ringOff
+		for i := 0; i < nodes; i++ {
+			next := perm[i]
+			put32(data, ringOff+i*64, base+uint32(next*64))
+			put32(data, ringOff+i*64+4, uint32(i*2654435761))
+		}
+	}
+	return data
+}
+
+func put32(b []byte, off int, v uint32) {
+	b[off] = byte(v)
+	b[off+1] = byte(v >> 8)
+	b[off+2] = byte(v >> 16)
+	b[off+3] = byte(v >> 24)
+}

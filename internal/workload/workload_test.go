@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"testing"
+
+	"tilevm/internal/guest"
+	"tilevm/internal/x86interp"
+)
+
+func TestAllProfilesRunToCompletion(t *testing.T) {
+	for _, p := range Profiles() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			img := p.Build()
+			proc := guest.Load(img)
+			it := x86interp.New(proc)
+			exited, err := it.Run(50_000_000)
+			if err != nil {
+				t.Fatalf("run: %v (state %s)", err, proc.CPU.String())
+			}
+			if !exited {
+				t.Fatalf("did not exit within budget; steps=%d", it.Steps)
+			}
+			if it.Steps < 20_000 {
+				t.Errorf("dynamic length %d too short to be meaningful", it.Steps)
+			}
+			if it.Steps > 20_000_000 {
+				t.Errorf("dynamic length %d too long for the figure suite", it.Steps)
+			}
+			t.Logf("%s: %d guest insts, code %d bytes, exit %d",
+				p.Name, it.Steps, len(img.Code), proc.Kern.ExitCode)
+		})
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	p, ok := ByName("176.gcc")
+	if !ok {
+		t.Fatal("missing profile")
+	}
+	a := p.Build()
+	b := p.Build()
+	if string(a.Code) != string(b.Code) {
+		t.Error("code generation not deterministic")
+	}
+	if len(a.Segments) != len(b.Segments) || string(a.Segments[0].Data) != string(b.Segments[0].Data) {
+		t.Error("data generation not deterministic")
+	}
+}
+
+func TestCodeSizeBands(t *testing.T) {
+	// The paper's capacity effects depend on which benchmarks exceed
+	// the 32KB L1 code cache once translated (~6× expansion of x86
+	// bytes). Check the x86 code sizes are in the intended bands.
+	small := map[string]bool{"164.gzip": true, "181.mcf": true, "256.bzip2": true, "197.parser": true}
+	large := map[string]bool{"176.gcc": true, "186.crafty": true, "255.vortex": true}
+	for _, p := range Profiles() {
+		img := p.Build()
+		kb := len(img.Code) / 1024
+		switch {
+		case small[p.Name] && kb > 12:
+			t.Errorf("%s: code %dKB, want small (<12KB)", p.Name, kb)
+		case large[p.Name] && kb < 40:
+			t.Errorf("%s: code %dKB, want large (>40KB)", p.Name, kb)
+		}
+	}
+}
+
+func TestNamesAndLookup(t *testing.T) {
+	names := Names()
+	if len(names) != 11 {
+		t.Fatalf("expected 11 profiles, got %d", len(names))
+	}
+	for _, n := range names {
+		if _, ok := ByName(n); !ok {
+			t.Errorf("ByName(%q) failed", n)
+		}
+	}
+	if _, ok := ByName("252.eon"); ok {
+		t.Error("252.eon should not exist (omitted in the paper)")
+	}
+}
+
+func TestIndirectTableMatchesFunctions(t *testing.T) {
+	p, _ := ByName("253.perlbmk") // highest indirect fraction
+	img := p.Build()
+	// The table at the head of the data segment must hold the code
+	// addresses of f0..fN (the indirect call sites jump through it).
+	data := img.Segments[0].Data
+	for f := 0; f < p.Funcs && f < 256; f++ {
+		got := uint32(data[f*4]) | uint32(data[f*4+1])<<8 |
+			uint32(data[f*4+2])<<16 | uint32(data[f*4+3])<<24
+		if got < img.CodeBase || got >= img.CodeBase+uint32(len(img.Code)) {
+			t.Fatalf("table[%d] = %#x outside code", f, got)
+		}
+	}
+}
+
+func TestChaseRingIsSingleCycle(t *testing.T) {
+	p, _ := ByName("181.mcf")
+	img := p.Build()
+	data := img.Segments[0].Data
+	base := img.Segments[0].Addr
+	nodes := p.DataBytes / 64
+	read32 := func(off int) uint32 {
+		return uint32(data[off]) | uint32(data[off+1])<<8 |
+			uint32(data[off+2])<<16 | uint32(data[off+3])<<24
+	}
+	// Walk the ring from node 0: it must visit every node exactly once
+	// before returning (a single cycle — otherwise the chase working
+	// set would silently shrink).
+	seen := map[uint32]bool{}
+	const ringOffLocal = 0x1000
+	cur := base + ringOffLocal
+	for i := 0; i < nodes; i++ {
+		if seen[cur] {
+			t.Fatalf("ring revisits %#x after %d steps (want %d)", cur, i, nodes)
+		}
+		seen[cur] = true
+		cur = read32(int(cur - base))
+	}
+	if cur != base+ringOffLocal {
+		t.Fatalf("ring does not close: ended at %#x", cur)
+	}
+}

@@ -1,0 +1,564 @@
+package x86
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Asm is a small x86 assembler used by tests and the synthetic workload
+// generator. It emits 32-bit protected-mode machine code with label
+// fix-ups for relative branches.
+type Asm struct {
+	Base   uint32 // guest virtual address of the first emitted byte
+	buf    []byte
+	labels map[string]uint32
+	fixups []fixup
+}
+
+type fixup struct {
+	pos   int // offset of the rel32 field in buf
+	label string
+	next  uint32 // address of the instruction after the branch
+}
+
+// NewAsm starts assembling at the given base address.
+func NewAsm(base uint32) *Asm {
+	return &Asm{Base: base, labels: make(map[string]uint32)}
+}
+
+// PC returns the address of the next emitted byte.
+func (a *Asm) PC() uint32 { return a.Base + uint32(len(a.buf)) }
+
+// Len returns the number of bytes emitted so far.
+func (a *Asm) Len() int { return len(a.buf) }
+
+// Label binds a name to the current position.
+func (a *Asm) Label(name string) {
+	if _, dup := a.labels[name]; dup {
+		panic("x86: duplicate label " + name)
+	}
+	a.labels[name] = a.PC()
+}
+
+// LabelAddr returns a bound label's address; it panics if unbound.
+func (a *Asm) LabelAddr(name string) uint32 {
+	addr, ok := a.labels[name]
+	if !ok {
+		panic("x86: unbound label " + name)
+	}
+	return addr
+}
+
+// Bytes resolves all fix-ups and returns the machine code.
+func (a *Asm) Bytes() []byte {
+	for _, f := range a.fixups {
+		target, ok := a.labels[f.label]
+		if !ok {
+			panic("x86: undefined label " + f.label)
+		}
+		binary.LittleEndian.PutUint32(a.buf[f.pos:], target-f.next)
+	}
+	a.fixups = a.fixups[:0]
+	return a.buf
+}
+
+func (a *Asm) db(bs ...byte) { a.buf = append(a.buf, bs...) }
+
+func (a *Asm) d32(v uint32) {
+	a.buf = append(a.buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func (a *Asm) d16(v uint16) { a.buf = append(a.buf, byte(v), byte(v>>8)) }
+
+// modRM emits a ModRM byte (and SIB/displacement) addressing rm with
+// the given /reg field. rm must be KReg or KMem.
+func (a *Asm) modRM(regField uint8, rm Operand) {
+	switch rm.Kind {
+	case KReg:
+		a.db(0xC0 | regField<<3 | uint8(rm.Reg))
+	case KMem:
+		a.memModRM(regField, rm)
+	default:
+		panic(fmt.Sprintf("x86: bad rm operand %v", rm))
+	}
+}
+
+func (a *Asm) memModRM(regField uint8, m Operand) {
+	needSIB := m.Index != NoIndex || m.Base == int8(ESP)
+	var mod, rmBits uint8
+	dispSize := 0
+	switch {
+	case m.Base == NoIndex && !needSIB:
+		mod, rmBits, dispSize = 0, 5, 4
+	case m.Base == NoIndex && needSIB:
+		mod, rmBits, dispSize = 0, 4, 4
+	default:
+		switch {
+		case m.Disp == 0 && m.Base != int8(EBP):
+			mod, dispSize = 0, 0
+		case m.Disp >= -128 && m.Disp <= 127:
+			mod, dispSize = 1, 1
+		default:
+			mod, dispSize = 2, 4
+		}
+		if needSIB {
+			rmBits = 4
+		} else {
+			rmBits = uint8(m.Base)
+		}
+	}
+	a.db(mod<<6 | regField<<3 | rmBits)
+	if needSIB {
+		var ss uint8
+		switch m.Scale {
+		case 0, 1:
+			ss = 0
+		case 2:
+			ss = 1
+		case 4:
+			ss = 2
+		case 8:
+			ss = 3
+		default:
+			panic("x86: bad scale")
+		}
+		idx := uint8(4)
+		if m.Index != NoIndex {
+			if m.Index == int8(ESP) {
+				panic("x86: ESP cannot be an index")
+			}
+			idx = uint8(m.Index)
+		}
+		base := uint8(5)
+		if m.Base != NoIndex {
+			base = uint8(m.Base)
+		}
+		a.db(ss<<6 | idx<<3 | base)
+	}
+	switch dispSize {
+	case 1:
+		a.db(byte(m.Disp))
+	case 4:
+		a.d32(uint32(m.Disp))
+	}
+}
+
+// Mem builds a [base+disp] operand.
+func Mem(base Reg, disp int32) Operand { return MemOp(int8(base), NoIndex, 1, disp, 4) }
+
+// MemIdx builds a [base+index*scale+disp] operand.
+func MemIdx(base, index Reg, scale uint8, disp int32) Operand {
+	return MemOp(int8(base), int8(index), scale, disp, 4)
+}
+
+// MemAbs builds an absolute [disp] operand.
+func MemAbs(disp uint32) Operand { return MemOp(NoIndex, NoIndex, 1, int32(disp), 4) }
+
+// aluBase maps ALU ops to their 0x00-family base opcode and /reg field.
+var aluBase = map[Op]struct {
+	base byte
+	ext  uint8
+}{
+	ADD: {0x00, 0}, OR: {0x08, 1}, ADC: {0x10, 2}, SBB: {0x18, 3},
+	AND: {0x20, 4}, SUB: {0x28, 5}, XOR: {0x30, 6}, CMP: {0x38, 7},
+}
+
+// ALU emits an ALU op (ADD/OR/ADC/SBB/AND/SUB/XOR/CMP) with a
+// register/memory destination and register/immediate/memory source.
+// Exactly one of dst/src may be memory.
+func (a *Asm) ALU(op Op, dst, src Operand) {
+	e, ok := aluBase[op]
+	if !ok {
+		panic(fmt.Sprintf("x86: %v is not a 2-operand ALU op", op))
+	}
+	switch {
+	case src.Kind == KImm:
+		if src.Imm >= -128 && src.Imm <= 127 && dst.Size == 4 {
+			a.db(0x83)
+			a.modRM(e.ext, dst)
+			a.db(byte(src.Imm))
+		} else if dst.Size == 1 {
+			a.db(0x80)
+			a.modRM(e.ext, dst)
+			a.db(byte(src.Imm))
+		} else {
+			a.db(0x81)
+			a.modRM(e.ext, dst)
+			a.d32(uint32(src.Imm))
+		}
+	case dst.Kind == KReg && src.Kind != KNone:
+		if dst.Size == 1 {
+			a.db(e.base + 2)
+		} else {
+			a.db(e.base + 3)
+		}
+		a.modRM(uint8(dst.Reg), src)
+	case dst.Kind == KMem && src.Kind == KReg:
+		if src.Size == 1 {
+			a.db(e.base)
+		} else {
+			a.db(e.base + 1)
+		}
+		a.modRM(uint8(src.Reg), dst)
+	default:
+		panic("x86: bad ALU operand combination")
+	}
+}
+
+// MovRegImm emits MOV r32, imm32.
+func (a *Asm) MovRegImm(r Reg, v uint32) {
+	a.db(0xB8 + byte(r))
+	a.d32(v)
+}
+
+// MovRegReg emits MOV r32, r32.
+func (a *Asm) MovRegReg(dst, src Reg) {
+	a.db(0x89)
+	a.db(0xC0 | byte(src)<<3 | byte(dst))
+}
+
+// MovRegMem emits MOV r32, m32.
+func (a *Asm) MovRegMem(dst Reg, m Operand) {
+	a.db(0x8B)
+	a.modRM(uint8(dst), m)
+}
+
+// MovMemReg emits MOV m32, r32.
+func (a *Asm) MovMemReg(m Operand, src Reg) {
+	a.db(0x89)
+	a.modRM(uint8(src), m)
+}
+
+// MovMemImm emits MOV m32, imm32.
+func (a *Asm) MovMemImm(m Operand, v uint32) {
+	a.db(0xC7)
+	a.modRM(0, m)
+	a.d32(v)
+}
+
+// MovRegMem8 emits MOV r8, m8 (low byte registers).
+func (a *Asm) MovRegMem8(dst Reg, m Operand) {
+	a.db(0x8A)
+	a.modRM(uint8(dst), m)
+}
+
+// MovMemReg8 emits MOV m8, r8.
+func (a *Asm) MovMemReg8(m Operand, src Reg) {
+	a.db(0x88)
+	a.modRM(uint8(src), m)
+}
+
+// Movzx8 emits MOVZX r32, m8/r8.
+func (a *Asm) Movzx8(dst Reg, src Operand) {
+	a.db(0x0F, 0xB6)
+	a.modRM(uint8(dst), src)
+}
+
+// Movsx8 emits MOVSX r32, m8/r8.
+func (a *Asm) Movsx8(dst Reg, src Operand) {
+	a.db(0x0F, 0xBE)
+	a.modRM(uint8(dst), src)
+}
+
+// Lea emits LEA r32, m.
+func (a *Asm) Lea(dst Reg, m Operand) {
+	a.db(0x8D)
+	a.memModRM(uint8(dst), m)
+}
+
+// Push emits PUSH r32.
+func (a *Asm) Push(r Reg) { a.db(0x50 + byte(r)) }
+
+// PushImm emits PUSH imm32.
+func (a *Asm) PushImm(v uint32) {
+	a.db(0x68)
+	a.d32(v)
+}
+
+// Pop emits POP r32.
+func (a *Asm) Pop(r Reg) { a.db(0x58 + byte(r)) }
+
+// IncReg emits INC r32.
+func (a *Asm) IncReg(r Reg) { a.db(0x40 + byte(r)) }
+
+// DecReg emits DEC r32.
+func (a *Asm) DecReg(r Reg) { a.db(0x48 + byte(r)) }
+
+// Neg emits NEG r/m32.
+func (a *Asm) Neg(rm Operand) {
+	a.db(0xF7)
+	a.modRM(3, rm)
+}
+
+// Not emits NOT r/m32.
+func (a *Asm) Not(rm Operand) {
+	a.db(0xF7)
+	a.modRM(2, rm)
+}
+
+// Test emits TEST r/m32, r32.
+func (a *Asm) Test(rm Operand, r Reg) {
+	a.db(0x85)
+	a.modRM(uint8(r), rm)
+}
+
+// TestImm emits TEST r/m32, imm32.
+func (a *Asm) TestImm(rm Operand, v uint32) {
+	a.db(0xF7)
+	a.modRM(0, rm)
+	a.d32(v)
+}
+
+// ShiftImm emits SHL/SHR/SAR/ROL/ROR r/m32, imm8.
+func (a *Asm) ShiftImm(op Op, rm Operand, count uint8) {
+	ext := shiftExt(op)
+	if count == 1 {
+		a.db(0xD1)
+		a.modRM(ext, rm)
+		return
+	}
+	a.db(0xC1)
+	a.modRM(ext, rm)
+	a.db(count)
+}
+
+// ShiftCL emits SHL/SHR/SAR/ROL/ROR r/m32, CL.
+func (a *Asm) ShiftCL(op Op, rm Operand) {
+	a.db(0xD3)
+	a.modRM(shiftExt(op), rm)
+}
+
+func shiftExt(op Op) uint8 {
+	switch op {
+	case ROL:
+		return 0
+	case ROR:
+		return 1
+	case RCL:
+		return 2
+	case RCR:
+		return 3
+	case SHL:
+		return 4
+	case SHR:
+		return 5
+	case SAR:
+		return 7
+	}
+	panic(fmt.Sprintf("x86: %v is not a shift", op))
+}
+
+// IMulRegRM emits IMUL r32, r/m32.
+func (a *Asm) IMulRegRM(dst Reg, src Operand) {
+	a.db(0x0F, 0xAF)
+	a.modRM(uint8(dst), src)
+}
+
+// IMulRegRMImm emits IMUL r32, r/m32, imm32.
+func (a *Asm) IMulRegRMImm(dst Reg, src Operand, v int32) {
+	if v >= -128 && v <= 127 {
+		a.db(0x6B)
+		a.modRM(uint8(dst), src)
+		a.db(byte(v))
+		return
+	}
+	a.db(0x69)
+	a.modRM(uint8(dst), src)
+	a.d32(uint32(v))
+}
+
+// MulRM emits MUL r/m32 (EDX:EAX = EAX * rm).
+func (a *Asm) MulRM(rm Operand) {
+	a.db(0xF7)
+	a.modRM(4, rm)
+}
+
+// DivRM emits DIV r/m32.
+func (a *Asm) DivRM(rm Operand) {
+	a.db(0xF7)
+	a.modRM(6, rm)
+}
+
+// IDivRM emits IDIV r/m32.
+func (a *Asm) IDivRM(rm Operand) {
+	a.db(0xF7)
+	a.modRM(7, rm)
+}
+
+// Cdq emits CDQ.
+func (a *Asm) Cdq() { a.db(0x99) }
+
+// Nop emits NOP.
+func (a *Asm) Nop() { a.db(0x90) }
+
+// Hlt emits HLT.
+func (a *Asm) Hlt() { a.db(0xF4) }
+
+// Int emits INT imm8.
+func (a *Asm) Int(vector byte) { a.db(0xCD, vector) }
+
+// Ret emits RET.
+func (a *Asm) Ret() { a.db(0xC3) }
+
+// RetImm emits RET imm16.
+func (a *Asm) RetImm(n uint16) {
+	a.db(0xC2)
+	a.d16(n)
+}
+
+// Leave emits LEAVE.
+func (a *Asm) Leave() { a.db(0xC9) }
+
+// Call emits CALL rel32 to a label.
+func (a *Asm) Call(label string) {
+	a.db(0xE8)
+	a.rel32(label)
+}
+
+// CallReg emits CALL r32.
+func (a *Asm) CallReg(r Reg) { a.db(0xFF, 0xD0|byte(r)) }
+
+// CallMem emits CALL m32.
+func (a *Asm) CallMem(m Operand) {
+	a.db(0xFF)
+	a.modRM(2, m)
+}
+
+// Jmp emits JMP rel32 to a label.
+func (a *Asm) Jmp(label string) {
+	a.db(0xE9)
+	a.rel32(label)
+}
+
+// JmpReg emits JMP r32.
+func (a *Asm) JmpReg(r Reg) { a.db(0xFF, 0xE0|byte(r)) }
+
+// JmpMem emits JMP m32 (jump-table dispatch).
+func (a *Asm) JmpMem(m Operand) {
+	a.db(0xFF)
+	a.modRM(4, m)
+}
+
+// Jcc emits a conditional rel32 jump to a label.
+func (a *Asm) Jcc(c Cond, label string) {
+	a.db(0x0F, 0x80+byte(c))
+	a.rel32(label)
+}
+
+// Setcc emits SETcc r/m8.
+func (a *Asm) Setcc(c Cond, rm Operand) {
+	a.db(0x0F, 0x90+byte(c))
+	a.modRM(0, rm)
+}
+
+// Cmovcc emits CMOVcc r32, r/m32.
+func (a *Asm) Cmovcc(c Cond, dst Reg, src Operand) {
+	a.db(0x0F, 0x40+byte(c))
+	a.modRM(uint8(dst), src)
+}
+
+// Cld emits CLD.
+func (a *Asm) Cld() { a.db(0xFC) }
+
+// RepMovsd emits REP MOVSD.
+func (a *Asm) RepMovsd() { a.db(0xF3, 0xA5) }
+
+// RepStosd emits REP STOSD.
+func (a *Asm) RepStosd() { a.db(0xF3, 0xAB) }
+
+// Bswap emits BSWAP r32.
+func (a *Asm) Bswap(r Reg) { a.db(0x0F, 0xC8+byte(r)) }
+
+// Cwde emits CWDE (sign-extend AX into EAX).
+func (a *Asm) Cwde() { a.db(0x98) }
+
+// ShiftDoubleImm emits SHLD/SHRD r/m32, r32, imm8.
+func (a *Asm) ShiftDoubleImm(op Op, rm Operand, r Reg, count uint8) {
+	switch op {
+	case SHLD:
+		a.db(0x0F, 0xA4)
+	case SHRD:
+		a.db(0x0F, 0xAC)
+	default:
+		panic("x86: not a double shift")
+	}
+	a.modRM(uint8(r), rm)
+	a.db(count)
+}
+
+// ShiftDoubleCL emits SHLD/SHRD r/m32, r32, CL.
+func (a *Asm) ShiftDoubleCL(op Op, rm Operand, r Reg) {
+	switch op {
+	case SHLD:
+		a.db(0x0F, 0xA5)
+	case SHRD:
+		a.db(0x0F, 0xAD)
+	default:
+		panic("x86: not a double shift")
+	}
+	a.modRM(uint8(r), rm)
+}
+
+// BtReg emits BT/BTS/BTR/BTC r/m32, r32.
+func (a *Asm) BtReg(op Op, rm Operand, r Reg) {
+	codes := map[Op]byte{BT: 0xA3, BTS: 0xAB, BTR: 0xB3, BTC: 0xBB}
+	c, ok := codes[op]
+	if !ok {
+		panic("x86: not a bit-test op")
+	}
+	a.db(0x0F, c)
+	a.modRM(uint8(r), rm)
+}
+
+// BtImm emits BT/BTS/BTR/BTC r/m32, imm8.
+func (a *Asm) BtImm(op Op, rm Operand, bit uint8) {
+	exts := map[Op]uint8{BT: 4, BTS: 5, BTR: 6, BTC: 7}
+	e, ok := exts[op]
+	if !ok {
+		panic("x86: not a bit-test op")
+	}
+	a.db(0x0F, 0xBA)
+	a.modRM(e, rm)
+	a.db(bit)
+}
+
+// Bsf emits BSF r32, r/m32.
+func (a *Asm) Bsf(dst Reg, src Operand) {
+	a.db(0x0F, 0xBC)
+	a.modRM(uint8(dst), src)
+}
+
+// Bsr emits BSR r32, r/m32.
+func (a *Asm) Bsr(dst Reg, src Operand) {
+	a.db(0x0F, 0xBD)
+	a.modRM(uint8(dst), src)
+}
+
+// Cmpxchg emits CMPXCHG r/m32, r32.
+func (a *Asm) Cmpxchg(rm Operand, r Reg) {
+	a.db(0x0F, 0xB1)
+	a.modRM(uint8(r), rm)
+}
+
+// Xadd emits XADD r/m32, r32.
+func (a *Asm) Xadd(rm Operand, r Reg) {
+	a.db(0x0F, 0xC1)
+	a.modRM(uint8(r), rm)
+}
+
+// RepeCmpsd emits REPE CMPSD.
+func (a *Asm) RepeCmpsd() { a.db(0xF3, 0xA7) }
+
+// RepneScasb emits REPNE SCASB.
+func (a *Asm) RepneScasb() { a.db(0xF2, 0xAE) }
+
+// Raw appends literal bytes (data embedded in the code stream).
+func (a *Asm) Raw(bs ...byte) { a.db(bs...) }
+
+// Word32 appends a literal 32-bit little-endian word.
+func (a *Asm) Word32(v uint32) { a.d32(v) }
+
+func (a *Asm) rel32(label string) {
+	a.fixups = append(a.fixups, fixup{pos: len(a.buf), label: label, next: a.PC() + 4})
+	a.d32(0)
+}

@@ -1,0 +1,229 @@
+package x86
+
+// Canonical EFLAGS semantics. The reference interpreter and the
+// translator-generated host code must agree bit-for-bit, so where the
+// architecture leaves a flag undefined we *define* it here and both
+// sides implement the definition:
+//
+//   - logic ops (AND/OR/XOR/TEST): CF=OF=AF=0
+//   - shifts with count==0: no flags change
+//   - SHL: OF = MSB(result) XOR CF (the count==1 rule, applied always)
+//   - SHR: OF = MSB(input)         (the count==1 rule, applied always)
+//   - SAR: OF = 0
+//   - ROL/ROR: only CF and OF change; OF per the count==1 rule
+//   - MUL/IMUL: CF=OF = "upper half significant"; SF/ZF/PF from the
+//     low result; AF=0
+//   - DIV/IDIV: no flags change
+//
+// All helpers take and return full 32-bit register images; `size` is
+// the operand width in bytes (1, 2 or 4).
+
+var parityTable [256]uint32
+
+func init() {
+	for i := range parityTable {
+		bits := 0
+		for v := i; v != 0; v >>= 1 {
+			bits += v & 1
+		}
+		if bits%2 == 0 {
+			parityTable[i] = FlagPF
+		}
+	}
+}
+
+// SizeMask returns the value mask for an operand size.
+func SizeMask(size uint8) uint32 {
+	switch size {
+	case 1:
+		return 0xff
+	case 2:
+		return 0xffff
+	default:
+		return 0xffffffff
+	}
+}
+
+// SignBit returns the most-significant-bit mask for an operand size.
+func SignBit(size uint8) uint32 { return SizeMask(size) &^ (SizeMask(size) >> 1) }
+
+// szpFlags computes SF, ZF, PF of a result.
+func szpFlags(r uint32, size uint8) uint32 {
+	m := SizeMask(size)
+	f := parityTable[r&0xff]
+	if r&m == 0 {
+		f |= FlagZF
+	}
+	if r&SignBit(size) != 0 {
+		f |= FlagSF
+	}
+	return f
+}
+
+// keep returns flags with the given bits cleared, ready to OR in new values.
+func keep(flags, defined uint32) uint32 { return flags &^ defined }
+
+// AddFlags returns flags after r = a + b + carryIn at the given size.
+func AddFlags(flags, a, b, carryIn uint32, size uint8) uint32 {
+	m := SizeMask(size)
+	a, b = a&m, b&m
+	r := (a + b + carryIn) & m
+	f := szpFlags(r, size)
+	if uint64(a)+uint64(b)+uint64(carryIn) > uint64(m) {
+		f |= FlagCF
+	}
+	if (a^r)&(b^r)&SignBit(size) != 0 {
+		f |= FlagOF
+	}
+	if (a^b^r)&0x10 != 0 {
+		f |= FlagAF
+	}
+	return keep(flags, FlagsArith) | f
+}
+
+// SubFlags returns flags after r = a - b - borrowIn at the given size.
+func SubFlags(flags, a, b, borrowIn uint32, size uint8) uint32 {
+	m := SizeMask(size)
+	a, b = a&m, b&m
+	r := (a - b - borrowIn) & m
+	f := szpFlags(r, size)
+	if uint64(a) < uint64(b)+uint64(borrowIn) {
+		f |= FlagCF
+	}
+	if (a^b)&(a^r)&SignBit(size) != 0 {
+		f |= FlagOF
+	}
+	if (a^b^r)&0x10 != 0 {
+		f |= FlagAF
+	}
+	return keep(flags, FlagsArith) | f
+}
+
+// LogicFlags returns flags after a logical op producing r.
+func LogicFlags(flags, r uint32, size uint8) uint32 {
+	return keep(flags, FlagsLogic) | szpFlags(r, size)
+}
+
+// IncFlags returns flags after INC (CF preserved).
+func IncFlags(flags, a uint32, size uint8) uint32 {
+	cf := flags & FlagCF
+	return keep(AddFlags(flags, a, 1, 0, size), FlagCF) | cf
+}
+
+// DecFlags returns flags after DEC (CF preserved).
+func DecFlags(flags, a uint32, size uint8) uint32 {
+	cf := flags & FlagCF
+	return keep(SubFlags(flags, a, 1, 0, size), FlagCF) | cf
+}
+
+// NegFlags returns flags after NEG (0 - a).
+func NegFlags(flags, a uint32, size uint8) uint32 {
+	return SubFlags(flags, 0, a, 0, size)
+}
+
+// ShlFlags returns flags after r = a << count (count pre-masked by 31,
+// count > 0).
+func ShlFlags(flags, a, count uint32, size uint8) uint32 {
+	if count == 0 {
+		return flags
+	}
+	bits := uint32(size) * 8
+	m := SizeMask(size)
+	r := uint32(0)
+	if count < 32 {
+		r = (a & m) << count & m
+	}
+	f := szpFlags(r, size)
+	if count <= bits && (a>>(bits-count))&1 != 0 {
+		f |= FlagCF
+	}
+	if (r&SignBit(size) != 0) != (f&FlagCF != 0) {
+		f |= FlagOF
+	}
+	return keep(flags, FlagsArith) | f
+}
+
+// ShrFlags returns flags after r = (a&mask) >> count, logical.
+func ShrFlags(flags, a, count uint32, size uint8) uint32 {
+	if count == 0 {
+		return flags
+	}
+	m := SizeMask(size)
+	av := a & m
+	r := uint32(0)
+	if count < 32 {
+		r = av >> count
+	}
+	f := szpFlags(r, size)
+	if count <= 32 && count >= 1 && (av>>(count-1))&1 != 0 {
+		f |= FlagCF
+	}
+	if av&SignBit(size) != 0 {
+		f |= FlagOF
+	}
+	return keep(flags, FlagsArith) | f
+}
+
+// SarFlags returns flags after an arithmetic right shift.
+func SarFlags(flags, a, count uint32, size uint8) uint32 {
+	if count == 0 {
+		return flags
+	}
+	m := SizeMask(size)
+	sv := int32(a << (32 - uint32(size)*8)) // sign-position-adjusted
+	var r uint32
+	if count >= uint32(size)*8 {
+		r = uint32(sv>>31) & m
+	} else {
+		r = uint32(sv>>(32-uint32(size)*8)>>count) & m
+	}
+	f := szpFlags(r, size)
+	var cf uint32
+	if count >= uint32(size)*8 {
+		cf = uint32(sv>>31) & 1
+	} else {
+		cf = uint32(sv>>(32-uint32(size)*8)>>(count-1)) & 1
+	}
+	if cf != 0 {
+		f |= FlagCF
+	}
+	return keep(flags, FlagsArith) | f
+}
+
+// RolFlags returns flags after a rotate left producing r. Only CF and
+// OF are written.
+func RolFlags(flags, r uint32, size uint8) uint32 {
+	f := keep(flags, FlagCF|FlagOF)
+	if r&1 != 0 {
+		f |= FlagCF
+	}
+	msb := r&SignBit(size) != 0
+	if msb != (r&1 != 0) {
+		f |= FlagOF
+	}
+	return f
+}
+
+// RorFlags returns flags after a rotate right producing r.
+func RorFlags(flags, r uint32, size uint8) uint32 {
+	f := keep(flags, FlagCF|FlagOF)
+	msb := r & SignBit(size)
+	if msb != 0 {
+		f |= FlagCF
+	}
+	msb2 := r & (SignBit(size) >> 1)
+	if (msb != 0) != (msb2 != 0) {
+		f |= FlagOF
+	}
+	return f
+}
+
+// MulFlags returns flags after an unsigned or signed widening multiply;
+// hiSignificant reports whether the upper half carries information.
+func MulFlags(flags, lo uint32, hiSignificant bool, size uint8) uint32 {
+	f := szpFlags(lo, size)
+	if hiSignificant {
+		f |= FlagCF | FlagOF
+	}
+	return keep(flags, FlagsArith) | f
+}

@@ -1,0 +1,203 @@
+package x86
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAddFlagsBasic(t *testing.T) {
+	// 0x7fffffff + 1 overflows signed, no carry.
+	f := AddFlags(0, 0x7fffffff, 1, 0, 4)
+	if f&FlagOF == 0 || f&FlagCF != 0 || f&FlagSF == 0 || f&FlagZF != 0 {
+		t.Errorf("0x7fffffff+1: flags %#x", f)
+	}
+	// 0xffffffff + 1 carries and zeros.
+	f = AddFlags(0, 0xffffffff, 1, 0, 4)
+	if f&FlagCF == 0 || f&FlagZF == 0 || f&FlagOF != 0 {
+		t.Errorf("0xffffffff+1: flags %#x", f)
+	}
+	// 8-bit: 0x7f + 1 overflows.
+	f = AddFlags(0, 0x7f, 1, 0, 1)
+	if f&FlagOF == 0 || f&FlagSF == 0 {
+		t.Errorf("0x7f+1 (8-bit): flags %#x", f)
+	}
+	// Carry-in propagates.
+	f = AddFlags(0, 0xfffffffe, 1, 1, 4)
+	if f&FlagCF == 0 || f&FlagZF == 0 {
+		t.Errorf("0xfffffffe+1+cf: flags %#x", f)
+	}
+}
+
+func TestSubFlagsBasic(t *testing.T) {
+	// 5 - 7 borrows and is negative.
+	f := SubFlags(0, 5, 7, 0, 4)
+	if f&FlagCF == 0 || f&FlagSF == 0 || f&FlagZF != 0 {
+		t.Errorf("5-7: flags %#x", f)
+	}
+	// 7 - 7 is zero, no borrow.
+	f = SubFlags(0, 7, 7, 0, 4)
+	if f&FlagZF == 0 || f&FlagCF != 0 {
+		t.Errorf("7-7: flags %#x", f)
+	}
+	// INT_MIN - 1 overflows.
+	f = SubFlags(0, 0x80000000, 1, 0, 4)
+	if f&FlagOF == 0 {
+		t.Errorf("INT_MIN-1: flags %#x", f)
+	}
+}
+
+func TestCmpDrivesConditions(t *testing.T) {
+	cases := []struct {
+		a, b uint32
+		cond Cond
+		want bool
+	}{
+		{5, 3, CondG, true},
+		{3, 5, CondL, true},
+		{5, 5, CondE, true},
+		{5, 5, CondGE, true},
+		{5, 5, CondLE, true},
+		{0xffffffff, 1, CondL, true}, // -1 < 1 signed
+		{0xffffffff, 1, CondA, true}, // 0xffffffff > 1 unsigned
+		{1, 0xffffffff, CondB, true}, // unsigned below
+		{1, 0xffffffff, CondG, true}, // signed greater
+		{2, 3, CondBE, true},
+		{3, 2, CondAE, true},
+	}
+	for _, c := range cases {
+		f := SubFlags(0, c.a, c.b, 0, 4)
+		if got := c.cond.Eval(f); got != c.want {
+			t.Errorf("cmp %#x,%#x cond %v = %v, want %v (flags %#x)",
+				c.a, c.b, c.cond, got, c.want, f)
+		}
+	}
+}
+
+func TestLogicFlags(t *testing.T) {
+	f := LogicFlags(FlagCF|FlagOF, 0, 4)
+	if f&FlagZF == 0 || f&FlagCF != 0 || f&FlagOF != 0 {
+		t.Errorf("logic 0: flags %#x", f)
+	}
+	f = LogicFlags(0, 0x80000000, 4)
+	if f&FlagSF == 0 || f&FlagZF != 0 {
+		t.Errorf("logic sign: flags %#x", f)
+	}
+}
+
+func TestParityFlag(t *testing.T) {
+	// PF counts the low byte only: 0x3 has two bits → even → PF set.
+	f := LogicFlags(0, 0x3, 4)
+	if f&FlagPF == 0 {
+		t.Errorf("parity of 0x3: flags %#x", f)
+	}
+	// 0x1 has one bit → odd → PF clear. High bytes must not matter.
+	f = LogicFlags(0, 0xffffff01, 4)
+	if f&FlagPF != 0 {
+		t.Errorf("parity of 0x01: flags %#x", f)
+	}
+}
+
+func TestIncDecPreserveCF(t *testing.T) {
+	f := IncFlags(FlagCF, 1, 4)
+	if f&FlagCF == 0 {
+		t.Errorf("inc lost CF: %#x", f)
+	}
+	f = DecFlags(FlagCF, 1, 4)
+	if f&FlagCF == 0 || f&FlagZF == 0 {
+		t.Errorf("dec 1: %#x", f)
+	}
+	// INC 0x7fffffff sets OF even with CF clear.
+	f = IncFlags(0, 0x7fffffff, 4)
+	if f&FlagOF == 0 || f&FlagCF != 0 {
+		t.Errorf("inc maxint: %#x", f)
+	}
+}
+
+func TestShlFlags(t *testing.T) {
+	// SHL 0x80000000-producing shift sets SF; CF is the last bit out.
+	f := ShlFlags(0, 0xC0000000, 1, 4)
+	if f&FlagCF == 0 || f&FlagSF == 0 {
+		t.Errorf("shl 0xC0000000,1: %#x", f)
+	}
+	// Count 0 leaves flags alone.
+	f = ShlFlags(FlagZF|FlagCF, 5, 0, 4)
+	if f != FlagZF|FlagCF {
+		t.Errorf("shl count 0 changed flags: %#x", f)
+	}
+}
+
+func TestShrSarFlags(t *testing.T) {
+	f := ShrFlags(0, 0x3, 1, 4)
+	if f&FlagCF == 0 { // bit 0 shifted out
+		t.Errorf("shr 3,1: %#x", f)
+	}
+	// SAR of negative keeps sign.
+	f = SarFlags(0, 0x80000000, 4, 4)
+	if f&FlagSF == 0 {
+		t.Errorf("sar negative: %#x", f)
+	}
+	// SAR count >= width collapses to sign fill.
+	f = SarFlags(0, 0x80000000, 35, 4)
+	if f&FlagSF == 0 || f&FlagCF == 0 {
+		t.Errorf("sar 35: %#x", f)
+	}
+}
+
+func TestNegFlags(t *testing.T) {
+	f := NegFlags(0, 0, 4)
+	if f&FlagZF == 0 || f&FlagCF != 0 {
+		t.Errorf("neg 0: %#x", f)
+	}
+	f = NegFlags(0, 5, 4)
+	if f&FlagCF == 0 || f&FlagSF == 0 {
+		t.Errorf("neg 5: %#x", f)
+	}
+}
+
+func TestMulFlags(t *testing.T) {
+	f := MulFlags(0, 100, false, 4)
+	if f&(FlagCF|FlagOF) != 0 {
+		t.Errorf("small mul: %#x", f)
+	}
+	f = MulFlags(0, 100, true, 4)
+	if f&FlagCF == 0 || f&FlagOF == 0 {
+		t.Errorf("wide mul: %#x", f)
+	}
+}
+
+func TestCondEvalAllNibbles(t *testing.T) {
+	// Each condition and its negation must disagree on every flag image.
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		flags := r.Uint32() & (FlagCF | FlagPF | FlagZF | FlagSF | FlagOF)
+		for c := Cond(0); c < 16; c += 2 {
+			if c.Eval(flags) == (c + 1).Eval(flags) {
+				t.Fatalf("cond %v and %v agree on flags %#x", c, c+1, flags)
+			}
+		}
+	}
+}
+
+func TestFlagsUsedConsistentWithEval(t *testing.T) {
+	// Property: Eval must not depend on flags outside FlagsUsed.
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		flags := r.Uint32() & FlagsArith
+		for c := Cond(0); c < 16; c++ {
+			used := c.FlagsUsed()
+			noise := r.Uint32() & FlagsArith &^ used
+			if c.Eval(flags&used) != c.Eval(flags&used|noise) {
+				t.Fatalf("cond %v depends on flags outside %#x", c, used)
+			}
+		}
+	}
+}
+
+func TestSizeMaskAndSignBit(t *testing.T) {
+	if SizeMask(1) != 0xff || SizeMask(2) != 0xffff || SizeMask(4) != 0xffffffff {
+		t.Error("SizeMask wrong")
+	}
+	if SignBit(1) != 0x80 || SignBit(2) != 0x8000 || SignBit(4) != 0x80000000 {
+		t.Error("SignBit wrong")
+	}
+}

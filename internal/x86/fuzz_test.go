@@ -1,0 +1,63 @@
+package x86
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDecodeNeverPanics feeds random byte soup to the decoder: every
+// input must either decode or return an error, never panic, and a
+// successful decode must report a sane length. Speculative translation
+// routinely decodes garbage (data mistaken for code), so this is a
+// load-bearing property.
+func TestDecodeNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	buf := make([]byte, MaxInstLen+8)
+	for i := 0; i < 200_000; i++ {
+		n := 1 + r.Intn(len(buf))
+		for j := 0; j < n; j++ {
+			buf[j] = byte(r.Intn(256))
+		}
+		in, err := Decode(buf[:n], 0x1000)
+		if err != nil {
+			continue
+		}
+		if in.Len == 0 || int(in.Len) > n {
+			t.Fatalf("decode of % x: len %d out of range", buf[:n], in.Len)
+		}
+	}
+}
+
+// TestDecodeAllPrefixStorms exercises pathological prefix runs.
+func TestDecodeAllPrefixStorms(t *testing.T) {
+	prefixes := []byte{0x66, 0xF3, 0xF2, 0x2E, 0x3E, 0x26, 0x36, 0x64, 0x65, 0xF0}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 10_000; i++ {
+		var buf []byte
+		for j := 0; j < r.Intn(20); j++ {
+			buf = append(buf, prefixes[r.Intn(len(prefixes))])
+		}
+		buf = append(buf, byte(r.Intn(256)), byte(r.Intn(256)), byte(r.Intn(256)),
+			byte(r.Intn(256)), byte(r.Intn(256)), byte(r.Intn(256)))
+		in, err := Decode(buf, 0)
+		if err == nil && int(in.Len) > len(buf) {
+			t.Fatalf("length overrun on % x", buf)
+		}
+	}
+}
+
+// TestDecodeTruncationAtEveryPoint truncates valid encodings at every
+// byte position; the decoder must fail cleanly, not read past the end.
+func TestDecodeTruncationAtEveryPoint(t *testing.T) {
+	a := NewAsm(0)
+	a.ALU(ADD, RegOp(EAX, 4), MemIdx(EBX, ECX, 4, 0x12345))
+	a.MovRegImm(EDX, 0xdeadbeef)
+	a.Jcc(CondG, "x")
+	a.Label("x")
+	a.ShiftDoubleImm(SHLD, RegOp(EAX, 4), EBX, 5)
+	code := a.Bytes()
+	for end := 0; end < len(code); end++ {
+		// Any prefix of the stream: must not panic.
+		Decode(code[:end], 0)
+	}
+}

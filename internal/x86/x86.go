@@ -1,0 +1,383 @@
+// Package x86 models the guest instruction set: a 32-bit userland
+// integer subset of IA-32 sufficient to run the synthetic SpecInt-like
+// workloads and hand-written guest programs through the translator. It
+// provides variable-length instruction decoding (prefixes, ModRM, SIB,
+// displacements, immediates), a normalized instruction representation,
+// canonical EFLAGS semantics, and a disassembler.
+package x86
+
+import "fmt"
+
+// Reg is an x86 general-purpose register number. For 32- and 16-bit
+// operands the numbering is EAX..EDI; for 8-bit operands values 0-3 are
+// AL,CL,DL,BL and 4-7 are AH,CH,DH,BH.
+type Reg uint8
+
+// 32-bit register numbers.
+const (
+	EAX Reg = iota
+	ECX
+	EDX
+	EBX
+	ESP
+	EBP
+	ESI
+	EDI
+)
+
+var regNames32 = [8]string{"eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi"}
+var regNames16 = [8]string{"ax", "cx", "dx", "bx", "sp", "bp", "si", "di"}
+var regNames8 = [8]string{"al", "cl", "dl", "bl", "ah", "ch", "dh", "bh"}
+
+// Name returns the register's name at the given operand size.
+func (r Reg) Name(size int) string {
+	if r > 7 {
+		return fmt.Sprintf("r%d?", uint8(r))
+	}
+	switch size {
+	case 1:
+		return regNames8[r]
+	case 2:
+		return regNames16[r]
+	default:
+		return regNames32[r]
+	}
+}
+
+// EFLAGS bit positions (x86 layout).
+const (
+	FlagCF uint32 = 1 << 0
+	FlagPF uint32 = 1 << 2
+	FlagAF uint32 = 1 << 4
+	FlagZF uint32 = 1 << 6
+	FlagSF uint32 = 1 << 7
+	FlagDF uint32 = 1 << 10
+	FlagOF uint32 = 1 << 11
+
+	// FlagsArith is the set of flags written by most ALU operations.
+	FlagsArith = FlagCF | FlagPF | FlagAF | FlagZF | FlagSF | FlagOF
+	// FlagsLogic are the ones meaningfully defined by AND/OR/XOR/TEST
+	// (CF and OF are cleared; AF is architecturally undefined — we
+	// define it as cleared, and the translator reproduces that).
+	FlagsLogic = FlagsArith
+)
+
+// Cond is a condition code (the low nibble of Jcc/SETcc/CMOVcc opcodes).
+type Cond uint8
+
+const (
+	CondO  Cond = iota // overflow
+	CondNO             // not overflow
+	CondB              // below (CF)
+	CondAE             // above or equal (!CF)
+	CondE              // equal (ZF)
+	CondNE             // not equal (!ZF)
+	CondBE             // below or equal (CF|ZF)
+	CondA              // above (!CF & !ZF)
+	CondS              // sign (SF)
+	CondNS             // not sign
+	CondP              // parity (PF)
+	CondNP             // not parity
+	CondL              // less (SF != OF)
+	CondGE             // greater or equal (SF == OF)
+	CondLE             // less or equal (ZF | SF != OF)
+	CondG              // greater (!ZF & SF == OF)
+)
+
+var condNames = [16]string{
+	"o", "no", "b", "ae", "e", "ne", "be", "a",
+	"s", "ns", "p", "np", "l", "ge", "le", "g",
+}
+
+func (c Cond) String() string { return condNames[c&15] }
+
+// FlagsUsed returns the EFLAGS bits a condition reads.
+func (c Cond) FlagsUsed() uint32 {
+	switch c {
+	case CondO, CondNO:
+		return FlagOF
+	case CondB, CondAE:
+		return FlagCF
+	case CondE, CondNE:
+		return FlagZF
+	case CondBE, CondA:
+		return FlagCF | FlagZF
+	case CondS, CondNS:
+		return FlagSF
+	case CondP, CondNP:
+		return FlagPF
+	case CondL, CondGE:
+		return FlagSF | FlagOF
+	case CondLE, CondG:
+		return FlagZF | FlagSF | FlagOF
+	}
+	return 0
+}
+
+// Eval evaluates the condition against an EFLAGS value.
+func (c Cond) Eval(flags uint32) bool {
+	cf := flags&FlagCF != 0
+	zf := flags&FlagZF != 0
+	sf := flags&FlagSF != 0
+	of := flags&FlagOF != 0
+	pf := flags&FlagPF != 0
+	var v bool
+	switch c &^ 1 {
+	case CondO:
+		v = of
+	case CondB:
+		v = cf
+	case CondE:
+		v = zf
+	case CondBE:
+		v = cf || zf
+	case CondS:
+		v = sf
+	case CondP:
+		v = pf
+	case CondL:
+		v = sf != of
+	case CondLE:
+		v = zf || sf != of
+	}
+	if c&1 != 0 {
+		v = !v
+	}
+	return v
+}
+
+// Op is a normalized x86 operation.
+type Op uint8
+
+const (
+	INVALID Op = iota
+	MOV
+	MOVZX
+	MOVSX
+	LEA
+	XCHG
+	ADD
+	ADC
+	SUB
+	SBB
+	CMP
+	AND
+	OR
+	XOR
+	TEST
+	NOT
+	NEG
+	INC
+	DEC
+	SHL
+	SHR
+	SAR
+	ROL
+	ROR
+	RCL
+	RCR
+	SHLD
+	SHRD
+	IMUL  // 1-op form: EDX:EAX = EAX * r/m
+	IMUL2 // 2/3-op form: reg = src * src2 (truncated)
+	MUL
+	DIV
+	IDIV
+	CDQ
+	CWDE // CBW with 16-bit operand size
+	BSWAP
+	BT
+	BTS
+	BTR
+	BTC
+	BSF
+	BSR
+	CMPXCHG
+	XADD
+	PUSH
+	POP
+	LEAVE
+	CALL    // direct, relative
+	CALLIND // indirect through r/m
+	RET     // optional stack adjustment in Dst imm
+	JMP     // direct, relative
+	JMPIND  // indirect through r/m
+	JCC
+	SETCC
+	CMOVCC
+	MOVS // string move, width in OpSize, REP optional
+	STOS
+	LODS
+	SCAS
+	CMPS
+	CLC
+	STC
+	CMC
+	CLD
+	STD
+	SAHF
+	LAHF
+	INT // software interrupt; INT 0x80 is the Linux syscall gate
+	NOPOP
+	HLT
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	INVALID: "(bad)", MOV: "mov", MOVZX: "movzx", MOVSX: "movsx",
+	LEA: "lea", XCHG: "xchg", ADD: "add", ADC: "adc", SUB: "sub",
+	SBB: "sbb", CMP: "cmp", AND: "and", OR: "or", XOR: "xor",
+	TEST: "test", NOT: "not", NEG: "neg", INC: "inc", DEC: "dec",
+	SHL: "shl", SHR: "shr", SAR: "sar", ROL: "rol", ROR: "ror",
+	RCL: "rcl", RCR: "rcr", SHLD: "shld", SHRD: "shrd",
+	IMUL: "imul", IMUL2: "imul", MUL: "mul", DIV: "div", IDIV: "idiv",
+	CDQ: "cdq", CWDE: "cwde", BSWAP: "bswap",
+	BT: "bt", BTS: "bts", BTR: "btr", BTC: "btc",
+	BSF: "bsf", BSR: "bsr", CMPXCHG: "cmpxchg", XADD: "xadd",
+	PUSH: "push", POP: "pop",
+	LEAVE: "leave", CALL: "call", CALLIND: "call", RET: "ret",
+	JMP: "jmp", JMPIND: "jmp", JCC: "j", SETCC: "set",
+	CMOVCC: "cmov", MOVS: "movs", STOS: "stos", LODS: "lods",
+	SCAS: "scas", CMPS: "cmps", CLC: "clc", STC: "stc", CMC: "cmc",
+	CLD: "cld", STD: "std", SAHF: "sahf", LAHF: "lahf", INT: "int",
+	NOPOP: "nop", HLT: "hlt",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// OperandKind classifies an operand.
+type OperandKind uint8
+
+const (
+	KNone OperandKind = iota
+	KReg
+	KImm
+	KMem
+)
+
+// NoIndex marks an absent base or index register in a memory operand.
+const NoIndex int8 = -1
+
+// Operand is one normalized instruction operand.
+type Operand struct {
+	Kind  OperandKind
+	Size  uint8 // access size in bytes: 1, 2, or 4
+	Reg   Reg   // KReg
+	Imm   int32 // KImm (sign-extended to 32 bits)
+	Base  int8  // KMem: base register or NoIndex
+	Index int8  // KMem: index register or NoIndex
+	Scale uint8 // KMem: 1, 2, 4, 8
+	Disp  int32 // KMem: displacement
+}
+
+// RegOp builds a register operand.
+func RegOp(r Reg, size uint8) Operand { return Operand{Kind: KReg, Reg: r, Size: size} }
+
+// ImmOp builds an immediate operand.
+func ImmOp(v int32, size uint8) Operand { return Operand{Kind: KImm, Imm: v, Size: size} }
+
+// MemOp builds a memory operand.
+func MemOp(base, index int8, scale uint8, disp int32, size uint8) Operand {
+	return Operand{Kind: KMem, Base: base, Index: index, Scale: scale, Disp: disp, Size: size}
+}
+
+func (o Operand) String() string {
+	switch o.Kind {
+	case KNone:
+		return ""
+	case KReg:
+		return o.Reg.Name(int(o.Size))
+	case KImm:
+		return fmt.Sprintf("%#x", uint32(o.Imm))
+	case KMem:
+		s := "["
+		sep := ""
+		if o.Base != NoIndex {
+			s += Reg(o.Base).Name(4)
+			sep = "+"
+		}
+		if o.Index != NoIndex {
+			s += fmt.Sprintf("%s%s*%d", sep, Reg(o.Index).Name(4), o.Scale)
+			sep = "+"
+		}
+		if o.Disp != 0 || sep == "" {
+			if o.Disp >= 0 {
+				s += fmt.Sprintf("%s%#x", sep, o.Disp)
+			} else {
+				s += fmt.Sprintf("-%#x", -o.Disp)
+			}
+		}
+		return s + "]"
+	}
+	return "?"
+}
+
+// Inst is one decoded guest instruction.
+type Inst struct {
+	Addr   uint32 // guest virtual address of the first byte
+	Len    uint8  // encoded length in bytes
+	Op     Op
+	Cond   Cond    // JCC/SETCC/CMOVCC
+	Dst    Operand // destination (also first source for RMW ops)
+	Src    Operand
+	Src2   Operand // third operand (3-op IMUL, SHLD/SHRD count)
+	Rep    bool    // REP/REPE prefix present (string ops)
+	RepNE  bool    // REPNE prefix (SCAS/CMPS)
+	OpSize uint8   // effective operand size of implicit-operand ops
+}
+
+// Next returns the address of the following instruction.
+func (i Inst) Next() uint32 { return i.Addr + uint32(i.Len) }
+
+// BranchTarget returns the taken target of a direct CALL/JMP/JCC (the
+// relative displacement is stored in Src.Imm).
+func (i Inst) BranchTarget() uint32 { return i.Next() + uint32(i.Src.Imm) }
+
+// EndsBlock reports whether the instruction terminates a basic block.
+func (i Inst) EndsBlock() bool {
+	switch i.Op {
+	case CALL, CALLIND, RET, JMP, JMPIND, JCC, INT, HLT:
+		return true
+	}
+	return false
+}
+
+func (i Inst) String() string {
+	name := i.Op.String()
+	switch i.Op {
+	case JCC, SETCC, CMOVCC:
+		name += i.Cond.String()
+	case MOVS, STOS, LODS, SCAS:
+		suffix := map[uint8]string{1: "b", 2: "w", 4: "d"}[i.OpSize]
+		if i.Rep {
+			name = "rep " + name
+		}
+		name += suffix
+	}
+	out := name
+	args := ""
+	switch {
+	case i.Op == JCC || i.Op == JMP || i.Op == CALL:
+		args = fmt.Sprintf("%#x", i.BranchTarget())
+	default:
+		for _, op := range []Operand{i.Dst, i.Src, i.Src2} {
+			if op.Kind == KNone {
+				continue
+			}
+			if args != "" {
+				args += ", "
+			}
+			args += op.String()
+		}
+	}
+	if args != "" {
+		out += " " + args
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package x86interp
+
+import (
+	"testing"
+
+	"tilevm/internal/guest"
+	"tilevm/internal/x86"
+)
+
+// Direct unit tests for the extended-op interpreter helpers (the
+// differential suite covers them end-to-end; these pin exact
+// semantics at the unit level).
+
+func TestRotateCarrySemantics(t *testing.T) {
+	p := run(t, func(a *x86.Asm) {
+		// CF=1; RCL EAX(0x80000000),1 => EAX=1 (CF rotated in), CF=1 (old msb).
+		a.MovRegImm(x86.EAX, 0x80000000)
+		a.ALU(x86.CMP, x86.RegOp(x86.EAX, 4), x86.ImmOp(1, 4)) // sets CF? 0x80000000 < 1 unsigned: no. Use STC.
+		a.Raw(0xF9)                                            // STC
+		a.ShiftImm(x86.RCL, x86.RegOp(x86.EAX, 4), 1)
+		a.MovRegReg(x86.EBX, x86.EAX)
+		a.Setcc(x86.CondB, x86.RegOp(x86.ECX, 1))
+		exit(a)
+	})
+	if p.Reg(x86.EBX) != 1 {
+		t.Errorf("RCL result %#x, want 1", p.Reg(x86.EBX))
+	}
+	if p.Reg8(x86.ECX&3) != 1 {
+		t.Errorf("RCL CF not set")
+	}
+}
+
+func TestShiftDoubleSemantics(t *testing.T) {
+	p := run(t, func(a *x86.Asm) {
+		a.MovRegImm(x86.EAX, 0xF0000001)
+		a.MovRegImm(x86.EDX, 0xAAAAAAAA)
+		a.ShiftDoubleImm(x86.SHLD, x86.RegOp(x86.EAX, 4), x86.EDX, 4)
+		a.MovRegReg(x86.EBX, x86.EAX) // 0x0000001A
+		exit(a)
+	})
+	if p.Reg(x86.EBX) != 0x0000001A {
+		t.Errorf("SHLD = %#x, want 0x1a", p.Reg(x86.EBX))
+	}
+}
+
+func TestBitStringAddressing(t *testing.T) {
+	// BT [mem], reg with an offset beyond the word must index the
+	// containing word (bit-string addressing).
+	p := run(t, func(a *x86.Asm) {
+		base := uint32(guest.DefaultHeapBase)
+		a.MovRegImm(x86.ESI, base)
+		a.MovMemImm(x86.Mem(x86.ESI, 12), 1<<9) // word 3, bit 9 => bit offset 105
+		a.MovRegImm(x86.ECX, 105)
+		a.BtReg(x86.BT, x86.Mem(x86.ESI, 0), x86.ECX)
+		a.Setcc(x86.CondB, x86.RegOp(x86.EBX, 1))
+		exit(a)
+	})
+	if p.Kern.ExitCode != 1 {
+		t.Errorf("bit-string BT missed: exit %d", p.Kern.ExitCode)
+	}
+}
+
+func TestCmpxchgBothPaths(t *testing.T) {
+	p := run(t, func(a *x86.Asm) {
+		base := uint32(guest.DefaultHeapBase)
+		a.MovRegImm(x86.ESI, base)
+		a.MovMemImm(x86.Mem(x86.ESI, 0), 42)
+		a.MovRegImm(x86.EAX, 42)
+		a.MovRegImm(x86.EBX, 99)
+		a.Cmpxchg(x86.Mem(x86.ESI, 0), x86.EBX) // success: [esi]=99
+		a.MovRegImm(x86.EAX, 1)
+		a.Cmpxchg(x86.Mem(x86.ESI, 0), x86.EBX) // fail: EAX=99
+		a.MovRegReg(x86.EBX, x86.EAX)
+		exit(a)
+	})
+	if p.Kern.ExitCode != 99 {
+		t.Errorf("cmpxchg fail path: EAX=%d, want 99", p.Kern.ExitCode)
+	}
+	if p.Mem.Read32(guest.DefaultHeapBase) != 99 {
+		t.Errorf("cmpxchg success path did not store")
+	}
+}
+
+func TestBsfBsrEdge(t *testing.T) {
+	p := run(t, func(a *x86.Asm) {
+		a.MovRegImm(x86.EAX, 0x00100100)
+		a.Bsf(x86.EBX, x86.RegOp(x86.EAX, 4)) // 8
+		a.Bsr(x86.ECX, x86.RegOp(x86.EAX, 4)) // 20
+		a.ALU(x86.ADD, x86.RegOp(x86.EBX, 4), x86.RegOp(x86.ECX, 4))
+		exit(a)
+	})
+	if p.Kern.ExitCode != 28 {
+		t.Errorf("bsf+bsr = %d, want 28", p.Kern.ExitCode)
+	}
+}
+
+func TestRepeCmpsFindsDifference(t *testing.T) {
+	p := run(t, func(a *x86.Asm) {
+		base := uint32(guest.DefaultHeapBase)
+		a.MovRegImm(x86.ESI, base)
+		a.MovMemImm(x86.Mem(x86.ESI, 0), 0x11111111)
+		a.MovMemImm(x86.Mem(x86.ESI, 4), 0x22222222)
+		a.MovMemImm(x86.Mem(x86.ESI, 0x100), 0x11111111)
+		a.MovMemImm(x86.Mem(x86.ESI, 0x104), 0x33333333)
+		a.Cld()
+		a.MovRegImm(x86.EDI, base+0x100)
+		a.MovRegImm(x86.ECX, 4)
+		a.RepeCmpsd()                 // stops after word 1 (differs)
+		a.MovRegReg(x86.EBX, x86.ECX) // remaining = 2
+		exit(a)
+	})
+	if p.Kern.ExitCode != 2 {
+		t.Errorf("repe cmpsd remaining = %d, want 2", p.Kern.ExitCode)
+	}
+}
+
+func TestCbwCwde(t *testing.T) {
+	p := run(t, func(a *x86.Asm) {
+		a.MovRegImm(x86.EAX, 0x12348081)
+		a.Raw(0x66, 0x98) // CBW: AX = sext(AL=0x81) = 0xFF81
+		a.MovRegReg(x86.EBX, x86.EAX)
+		a.Cwde() // EAX = sext(AX=0xFF81) = 0xFFFFFF81
+		a.MovRegReg(x86.ECX, x86.EAX)
+		a.ALU(x86.XOR, x86.RegOp(x86.EBX, 4), x86.RegOp(x86.ECX, 4))
+		a.ShiftImm(x86.SHR, x86.RegOp(x86.EBX, 4), 16) // high half of xor = 0x1234^0xFFFF
+		exit(a)
+	})
+	if p.Reg(x86.ECX) != 0xffffff81 {
+		t.Errorf("CWDE: ECX=%#x, want 0xffffff81", p.Reg(x86.ECX))
+	}
+	// EBX = (0x1234FF81 ^ 0xFFFFFF81) >> 16 = 0x1234 ^ 0xFFFF.
+	if p.Reg(x86.EBX) != 0x1234^0xffff {
+		t.Errorf("CBW/CWDE xor = %#x, want %#x", p.Reg(x86.EBX), 0x1234^0xffff)
+	}
+}
