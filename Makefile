@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: check vet build test race fuzz
+
+# The full gate: what CI (and a pre-commit) should run.
+check: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The simulator hands control between tile-kernel goroutines through
+# channels, so the race detector checks the one-runnable-process
+# invariant for free. Slower; -short skips the long figure sweeps.
+race:
+	$(GO) test -race -short ./...
+
+fuzz:
+	$(GO) test ./internal/x86 -fuzz FuzzDecode -fuzztime 30s

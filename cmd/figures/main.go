@@ -26,6 +26,7 @@ func main() {
 		whatif   = flag.Bool("whatif", false, "also run the §4.5 hardware-assist what-if analysis")
 		util     = flag.String("utilization", "", "print per-tile utilization for a benchmark (e.g. 176.gcc)")
 		multivm  = flag.Bool("multivm", false, "also run the §5 two-VM fabric-sharing experiment")
+		faultsw  = flag.Bool("faultsweep", false, "also run the graceful-degradation fault sweep")
 		asJSON   = flag.Bool("json", false, "emit figures as JSON instead of text tables")
 	)
 	flag.Parse()
@@ -115,6 +116,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(out)
+	}
+	if *faultsw {
+		f, err := s.FaultSweep()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		fmt.Println(f.String())
 	}
 	if *util != "" {
 		out, err := s.Utilization(*util)

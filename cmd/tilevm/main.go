@@ -7,6 +7,7 @@
 //	tilevm -workload 176.gcc
 //	tilevm -image prog.tvmi -slaves 9 -membanks 1
 //	tilevm -workload 181.mcf -morph -threshold 5 -v
+//	tilevm -workload 164.gzip -fault-plan 'fail:7@150000,drop:0.001' -fault-seed 42 -v
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"strings"
 
 	"tilevm/internal/core"
+	"tilevm/internal/fault"
 	"tilevm/internal/guest"
 	"tilevm/internal/rawisa"
 	"tilevm/internal/translate"
@@ -35,6 +37,9 @@ func main() {
 		morph     = flag.Bool("morph", false, "dynamic virtual architecture reconfiguration")
 		threshold = flag.Int("threshold", 5, "morphing queue-length threshold")
 		maxCycles = flag.Uint64("maxcycles", 0, "simulation watchdog (0 = default)")
+		faultPlan = flag.String("fault-plan", "", "fault plan, e.g. 'fail:7@150000,drop:0.01,delay:0.02+400,corrupt:0.01,dram:0.05,stall:6@30000+5000'")
+		faultSeed = flag.Uint64("fault-seed", 0, "seed for the fault plan's probabilistic clauses")
+		noRecover = flag.Bool("fault-norecover", false, "disable fault recovery (a fault then deadlocks with a diagnostic)")
 		verbose   = flag.Bool("v", false, "print detailed metrics")
 		dump      = flag.String("dump", "", "disassemble the translation of the block at this guest PC (hex; 'entry' for the entry point) and exit")
 		trace     = flag.Int("trace", 0, "log the first N dispatch-loop iterations to stderr")
@@ -67,6 +72,16 @@ func main() {
 	if *maxCycles != 0 {
 		cfg.MaxCycles = *maxCycles
 	}
+	if *faultPlan != "" {
+		plan, err := fault.ParsePlan(*faultPlan)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tilevm:", err)
+			os.Exit(1)
+		}
+		plan.Seed = *faultSeed
+		cfg.Fault = plan
+		cfg.FaultRecovery = !*noRecover
+	}
 	if *trace > 0 {
 		cfg.Trace = os.Stderr
 		cfg.TraceLimit = *trace
@@ -98,6 +113,13 @@ func main() {
 		fmt.Printf("syscalls/assists  : %d/%d\n", m.Syscalls, m.Assists)
 		fmt.Printf("reconfigurations  : %d (%d lines flushed)\n", m.Reconfigs, m.MorphFlushLines)
 		fmt.Printf("SMC invalidations : %d\n", m.SMCInvalidations)
+		if m.FaultsInjected > 0 || m.Timeouts > 0 {
+			fmt.Printf("faults injected   : %d (%d drops, %d delays, %d corruptions, %d DRAM, %d fails, %d stalls)\n",
+				m.FaultsInjected, m.MsgsDropped, m.MsgsDelayed, m.MsgsCorrupted,
+				m.DRAMErrors, m.TileFails, m.TileStalls)
+			fmt.Printf("recovery          : %d timeouts, %d retries, %d role remaps, %d writebacks lost, %d recovery cycles\n",
+				m.Timeouts, m.Retries, m.RoleRemaps, m.WritebacksLost, m.RecoveryCycles)
+		}
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 
+	"tilevm/internal/fault"
 	"tilevm/internal/raw"
 )
 
@@ -55,6 +56,21 @@ type Config struct {
 	// FIFOSpec collapses the prioritized speculation queues to FIFO.
 	FIFOSpec bool
 
+	// Fault, if non-nil and non-empty, installs a deterministic seeded
+	// fault plan (see internal/fault): tile fail-stops and stalls,
+	// message drop/delay/corruption, DRAM read errors. With Fault nil
+	// (or empty) no fault code path runs and the machine is bit-identical
+	// to a fault-free build.
+	Fault *fault.Plan
+	// FaultRecovery arms the recovery protocol alongside the fault plan:
+	// worker heartbeats, watchdogged request/reply round trips with
+	// retry-and-backoff on the execution tile, and manager-driven
+	// excision of dead tiles through the morph/flush/remap path. With it
+	// false the faults are injected but nothing defends against them —
+	// useful for demonstrating the failure mode (typically a diagnosed
+	// deadlock).
+	FaultRecovery bool
+
 	// MaxCycles is the simulation watchdog (0 = default).
 	MaxCycles uint64
 
@@ -81,6 +97,7 @@ func DefaultConfig() Config {
 		Optimize:         true,
 		MorphThreshold:   5,
 		MorphMinInterval: 20_000,
+		FaultRecovery:    true,
 	}
 }
 
@@ -195,6 +212,52 @@ func place(cfg *Config) (placement, error) {
 		}
 	}
 	return p, nil
+}
+
+// validateFaultPlan rejects fault plans the recovery protocol cannot
+// survive: fail-stops are only meaningful on worker tiles (translation
+// slaves and data banks — the redundant, excisable resources of the
+// virtual architecture; the exec, manager, MMU, L1.5, and syscall tiles
+// are single points of service), at least one slave and one bank must
+// outlive the plan, and fail-stops compose with morphing only trivially
+// (morphing retargets the same switchable tiles recovery excises).
+func validateFaultPlan(pl *placement, cfg *Config) error {
+	if cfg.Fault == nil || len(cfg.Fault.Fails) == 0 {
+		return nil
+	}
+	if cfg.Morph {
+		return fmt.Errorf("core: tile fail-stops and morphing are mutually exclusive")
+	}
+	worker := map[int]bool{}
+	for _, t := range pl.slaves {
+		worker[t] = true
+	}
+	for _, t := range pl.banks {
+		worker[t] = true
+	}
+	dead := map[int]bool{}
+	for _, f := range cfg.Fault.Fails {
+		if !worker[f.Tile] {
+			return fmt.Errorf("core: fault plan fail-stops tile %d, which is not a worker (slave/bank) tile", f.Tile)
+		}
+		dead[f.Tile] = true
+	}
+	liveSlaves, liveBanks := 0, 0
+	for _, t := range pl.slaves {
+		if !dead[t] {
+			liveSlaves++
+		}
+	}
+	for _, t := range pl.banks {
+		if !dead[t] {
+			liveBanks++
+		}
+	}
+	if liveSlaves == 0 || liveBanks == 0 {
+		return fmt.Errorf("core: fault plan leaves %d live slaves and %d live banks; need at least one of each",
+			liveSlaves, liveBanks)
+	}
+	return nil
 }
 
 // l15BankFor selects the L1.5 bank servicing a guest PC. The exec tile

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 
+	"tilevm/internal/dcache"
+	"tilevm/internal/fault"
 	"tilevm/internal/guest"
 	"tilevm/internal/metrics"
 	"tilevm/internal/raw"
@@ -48,6 +50,21 @@ type engine struct {
 	codePages map[uint32]bool   // 4KB pages holding translated code
 	pageInval map[uint32]uint64 // page -> SMC generation of last invalidation
 	smcGen    uint64
+
+	// Fault injection. inj is non-nil only when cfg.Fault is a
+	// non-empty plan; robust additionally requires cfg.FaultRecovery
+	// and arms every watchdog/heartbeat/retry code path. With inj nil
+	// none of those paths execute, so fault-free runs stay
+	// bit-identical to the pre-fault engine.
+	inj    *fault.Injector
+	robust bool
+	// codeSeq numbers the execution tile's demand code requests in
+	// robust mode (fresh Seq per attempt, including retries).
+	codeSeq uint64
+	// bankOf lets the manager account a dead bank's dirty lines
+	// (writeback-loss) at excision time; registered by each worker in
+	// robust mode. Single-threaded in virtual time like the rest.
+	bankOf map[int]*dcache.Bank
 }
 
 // Run executes a guest image under the given virtual architecture
@@ -76,6 +93,16 @@ func Run(img *guest.Image, cfg Config) (*Result, error) {
 	}
 	e.m.Sim.SetLimit(cfg.MaxCycles)
 
+	if !cfg.Fault.Empty() {
+		if err := validateFaultPlan(&pl, &cfg); err != nil {
+			return nil, err
+		}
+		e.inj = fault.NewInjector(cfg.Fault)
+		e.m.Faults = e.inj
+		e.robust = cfg.FaultRecovery
+		e.bankOf = map[int]*dcache.Bank{}
+	}
+
 	e.spawn()
 
 	simErr := e.m.Run()
@@ -88,6 +115,16 @@ func Run(img *guest.Image, cfg Config) (*Result, error) {
 		e.stats.L2CAccess = e.mgr.l2.Accesses
 		e.stats.L2CMisses = e.mgr.l2.Misses
 		e.stats.SpecWasted = uint64(len(e.mgr.specStored))
+	}
+	if e.inj != nil {
+		fc := e.inj.Counts()
+		e.stats.FaultsInjected = fc.Total()
+		e.stats.MsgsDropped = fc.Drops
+		e.stats.MsgsDelayed = fc.Delays
+		e.stats.MsgsCorrupted = fc.Corruptions
+		e.stats.DRAMErrors = fc.DRAMErrors
+		e.stats.TileFails = fc.Fails
+		e.stats.TileStalls = fc.Stalls
 	}
 	res := &Result{
 		Cycles:   e.stopCycles,

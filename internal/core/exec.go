@@ -101,6 +101,43 @@ func (e *engine) execKernel(c *raw.TileCtx) {
 	}
 }
 
+// rpc is the execution tile's robust request/reply primitive (used
+// only in fault-recovery mode): send issues (or re-issues) the
+// request, match inspects each incoming payload and returns the reply
+// value when it is the one being waited for. On watchdog expiry the
+// request is re-sent with exponential backoff, capped at
+// RetryBackoffMax — the execution tile cannot make progress without
+// the reply, so it retries forever; a lost service tile is the
+// manager's problem to excise, after which a retry lands on a live
+// one. Unmatched payloads (stale replies to earlier attempts,
+// corrupted messages) are discarded.
+func (e *engine) rpc(c *raw.TileCtx, send func(attempt int), match func(any) (any, bool)) any {
+	P := e.cfg.Params
+	send(0)
+	backoff := P.NetWatchdog
+	deadline := c.Now() + backoff
+	for attempt := 1; ; {
+		msg, ok := c.RecvDeadline(deadline)
+		if !ok {
+			e.stats.Timeouts++
+			e.stats.Retries++
+			send(attempt)
+			attempt++
+			if backoff < P.RetryBackoffMax {
+				backoff *= 2
+				if backoff > P.RetryBackoffMax {
+					backoff = P.RetryBackoffMax
+				}
+			}
+			deadline = c.Now() + backoff
+			continue
+		}
+		if v, done := match(msg.Payload); done {
+			return v
+		}
+	}
+}
+
 // smcInvalidate performs the self-modifying-code invalidation protocol
 // (paper §5: the prototype detects writes to pages containing
 // translated code): flush the local L1 code cache, tell the manager to
@@ -109,30 +146,89 @@ func (e *engine) execKernel(c *raw.TileCtx) {
 func (e *engine) smcInvalidate(c *raw.TileCtx, env *execEnv, l1 *codecache.L1) {
 	e.stats.SMCInvalidations++
 	inval := smcInval{Lo: env.smcLo, Hi: env.smcHi}
-	targets := 1 + len(e.pl.l15)
-	c.Send(e.pl.manager, inval, wordsCtl)
-	for _, bankTile := range e.pl.l15 {
-		c.Send(bankTile, inval, wordsCtl)
-	}
-	for acks := 0; acks < targets; {
-		msg := c.Recv()
-		if _, ok := msg.Payload.(smcAck); ok {
-			acks++
+	if e.robust {
+		e.smcInvalRobust(c, inval)
+	} else {
+		targets := 1 + len(e.pl.l15)
+		c.Send(e.pl.manager, inval, wordsCtl)
+		for _, bankTile := range e.pl.l15 {
+			c.Send(bankTile, inval, wordsCtl)
+		}
+		for acks := 0; acks < targets; {
+			msg := c.Recv()
+			if _, ok := msg.Payload.(smcAck); ok {
+				acks++
+			}
 		}
 	}
 	l1.Flush()
 	env.smcPending = false
 }
 
-// fetchBlock requests a translated block through the code cache
-// hierarchy, blocking until it arrives.
-func (e *engine) fetchBlock(c *raw.TileCtx, pc uint32) *translate.Result {
-	if n := len(e.pl.l15); n > 0 {
-		bank := e.pl.l15[l15BankFor(pc, n)]
-		c.Send(bank, codeReq{PC: pc, ReplyTo: e.pl.exec, FillBank: -1}, wordsCodeReq)
-	} else {
-		c.Send(e.pl.manager, codeReq{PC: pc, ReplyTo: e.pl.exec, FillBank: -1}, wordsCodeReq)
+// smcInvalRobust runs the invalidation handshake with per-target ack
+// tracking and selective resend on watchdog expiry. Re-invalidating a
+// range is idempotent at every receiver (the manager conservatively
+// bumps the SMC generation again; an L1.5 bank re-flushes an already
+// empty bank), so a duplicated inval caused by a delayed ack is
+// harmless.
+func (e *engine) smcInvalRobust(c *raw.TileCtx, inval smcInval) {
+	P := e.cfg.Params
+	targets := append([]int{e.pl.manager}, e.pl.l15...)
+	acked := map[int]bool{}
+	send := func() {
+		for _, t := range targets {
+			if !acked[t] {
+				c.Send(t, inval, wordsCtl)
+			}
+		}
 	}
+	send()
+	backoff := P.NetWatchdog
+	deadline := c.Now() + backoff
+	for len(acked) < len(targets) {
+		msg, ok := c.RecvDeadline(deadline)
+		if !ok {
+			e.stats.Timeouts++
+			e.stats.Retries++
+			send()
+			if backoff < P.RetryBackoffMax {
+				backoff *= 2
+				if backoff > P.RetryBackoffMax {
+					backoff = P.RetryBackoffMax
+				}
+			}
+			deadline = c.Now() + backoff
+			continue
+		}
+		if _, isAck := msg.Payload.(smcAck); isAck {
+			acked[msg.From] = true
+		}
+	}
+}
+
+// fetchBlock requests a translated block through the code cache
+// hierarchy, blocking until it arrives. In fault-recovery mode the
+// wait is watchdogged and the request re-sent under a fresh sequence
+// number; a stale response for a different PC (possible only after a
+// retry) is discarded rather than treated as a protocol violation.
+func (e *engine) fetchBlock(c *raw.TileCtx, pc uint32) *translate.Result {
+	target := e.pl.manager
+	if n := len(e.pl.l15); n > 0 {
+		target = e.pl.l15[l15BankFor(pc, n)]
+	}
+	if e.robust {
+		out := e.rpc(c, func(int) {
+			e.codeSeq++
+			c.Send(target, codeReq{PC: pc, ReplyTo: e.pl.exec, FillBank: -1, Seq: e.codeSeq}, wordsCodeReq)
+		}, func(payload any) (any, bool) {
+			if r, ok := payload.(codeResp); ok && r.PC == pc {
+				return r.Res, true
+			}
+			return nil, false
+		})
+		return out.(*translate.Result)
+	}
+	c.Send(target, codeReq{PC: pc, ReplyTo: e.pl.exec, FillBank: -1}, wordsCodeReq)
 	for {
 		msg := c.Recv()
 		if r, ok := msg.Payload.(codeResp); ok {
@@ -154,6 +250,7 @@ type execEnv struct {
 	dl1    *cachesim.Cache
 	interp *x86interp.Interp
 	memID  uint64
+	sysID  uint64
 	exited bool
 
 	// Self-modifying-code detection: a store into a translated code
@@ -202,9 +299,24 @@ func (v *execEnv) touch(addr uint32, write bool) bool {
 		// Posted writeback of the dirty victim; no reply needed.
 		v.c.Send(v.e.pl.mmu, memReq{Addr: res.WritebackOf, Write: true, ReplyTo: -1}, wordsMemReq+8)
 	}
-	// Line fill round trip.
+	// Line fill round trip. Reads are idempotent, so in robust mode a
+	// retry carries a fresh ID and any late reply to an earlier attempt
+	// is discarded by the ID match.
 	v.memID++
 	id := v.memID
+	if v.e.robust {
+		v.e.rpc(v.c, func(attempt int) {
+			if attempt > 0 {
+				v.memID++
+				id = v.memID
+			}
+			v.c.Send(v.e.pl.mmu, memReq{Addr: res.LineAddr, Write: false, ReplyTo: v.e.pl.exec, ID: id}, wordsMemReq)
+		}, func(payload any) (any, bool) {
+			r, ok := payload.(memResp)
+			return nil, ok && r.ID == id
+		})
+		return false
+	}
 	v.c.Send(v.e.pl.mmu, memReq{Addr: res.LineAddr, Write: false, ReplyTo: v.e.pl.exec, ID: id}, wordsMemReq)
 	for {
 		msg := v.c.Recv()
@@ -238,11 +350,30 @@ func (v *execEnv) GuestStore(addr uint32, val uint32, size uint8) {
 	v.checkSMC(addr, size)
 }
 
-// Syscall implements rawexec.Env: proxy to the syscall tile.
+// Syscall implements rawexec.Env: proxy to the syscall tile. Syscalls
+// are not idempotent, so the robust path is an at-most-once RPC: every
+// attempt carries the same ID and the syscall tile deduplicates,
+// replaying the cached response when a retry races a slow original.
 func (v *execEnv) Syscall(cpu *rawexec.CPU) {
 	v.e.stats.Syscalls++
 	var req sysReq
 	copy(req.Regs[:], cpu.R[:10])
+	if v.e.robust {
+		v.sysID++
+		req.ID = v.sysID
+		out := v.e.rpc(v.c, func(int) {
+			v.c.Send(v.e.pl.sys, req, wordsSys)
+		}, func(payload any) (any, bool) {
+			if r, ok := payload.(sysResp); ok && r.ID == req.ID {
+				return r, true
+			}
+			return nil, false
+		})
+		r := out.(sysResp)
+		copy(cpu.R[1:10], r.Regs[1:10])
+		v.exited = r.Exited
+		return
+	}
 	v.c.Send(v.e.pl.sys, req, wordsSys)
 	for {
 		msg := v.c.Recv()

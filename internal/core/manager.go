@@ -3,6 +3,7 @@ package core
 import (
 	"tilevm/internal/codecache"
 	"tilevm/internal/raw"
+	"tilevm/internal/sim"
 	"tilevm/internal/translate"
 )
 
@@ -23,6 +24,17 @@ type qEntry struct {
 type waiter struct {
 	replyTo  int
 	fillBank int
+	seq      uint64
+}
+
+// outWork is a dispatched translation the manager is watching in
+// fault-recovery mode: if no transDone arrives by the deadline the
+// work is re-queued (the work or its result was lost, or the slave
+// died).
+type outWork struct {
+	pc       uint32
+	depth    int
+	deadline uint64
 }
 
 // managerState is the manager tile's bookkeeping: the L2 code cache
@@ -48,6 +60,18 @@ type managerState struct {
 	// Cross-VM lending state (multi-VM mode).
 	helpOut     bool
 	pendingHelp bool
+
+	// Fault-recovery state (robust mode only). banksNow is the
+	// authoritative current data-bank interleave; lastBeat and
+	// outstanding drive the failure detectors. rebankGen/rebankPend
+	// implement the acknowledged remap handshake with the MMU tile.
+	banksNow       []int
+	lastBeat       map[int]uint64
+	outstanding    map[int]outWork
+	rebankGen      uint64
+	rebankPend     bool
+	rebankDeadline uint64
+	detectAt       uint64 // bank-excision detection time, for recovery latency
 }
 
 // managerKernel runs the manager/L2-code-cache tile.
@@ -70,17 +94,45 @@ func (e *engine) managerKernel(c *raw.TileCtx) {
 	}
 	// Morphing starts in the translation-heavy configuration (§2.3).
 	st.transHeavy = e.cfg.Morph
+	if e.robust {
+		st.banksNow = append([]int(nil), e.pl.banks...)
+		st.lastBeat = map[int]uint64{}
+		st.outstanding = map[int]outWork{}
+		for _, t := range e.pl.slaves {
+			st.lastBeat[t] = 0
+		}
+		for _, t := range e.pl.banks {
+			st.lastBeat[t] = 0
+		}
+	}
 	e.mgr = st
 
 	for {
-		msg := c.Recv()
+		var msg sim.Msg
+		if e.robust {
+			// Bounded wait so the failure detectors run even when the
+			// fabric goes quiet (a dead tile produces silence, not
+			// messages).
+			st.onTick()
+			var ok bool
+			msg, ok = c.RecvDeadline(c.Now() + P.HeartbeatPeriod)
+			if !ok {
+				continue
+			}
+		} else {
+			msg = c.Recv()
+		}
 		switch m := msg.Payload.(type) {
 		case codeReq:
 			st.handleCodeReq(m)
 		case workReq:
 			st.handleWorkReq(msg.From)
 		case transDone:
-			st.handleTransDone(m)
+			st.handleTransDone(m, msg.From)
+		case heartbeat:
+			st.handleBeat(msg.From)
+		case rebankAck:
+			st.handleRebankAck(m)
 		case smcInval:
 			st.handleSMCInval(m, msg.From)
 		case lendSlave:
@@ -95,6 +147,148 @@ func (e *engine) managerKernel(c *raw.TileCtx) {
 			st.handleHelp()
 		}
 	}
+}
+
+// onTick runs the manager's failure detectors (robust mode only):
+// heartbeat timeouts excise dead workers, work watchdogs re-queue
+// translations whose results never came back, and an unacknowledged
+// rebank is re-sent. All scans iterate tiles in ascending id order so
+// recovery decisions are deterministic.
+func (st *managerState) onTick() {
+	P := st.e.cfg.Params
+	now := st.c.Now()
+	for t := 0; t < P.Tiles(); t++ {
+		role, isWorker := st.roles[t]
+		if !isWorker || role == roleDead {
+			continue
+		}
+		if now-st.lastBeat[t] > P.HeartbeatTimeout {
+			st.excise(t)
+		}
+	}
+	for t := 0; t < P.Tiles(); t++ {
+		ow, ok := st.outstanding[t]
+		if !ok || now < ow.deadline {
+			continue
+		}
+		// The work unit or its result was lost (or the slave is slow or
+		// dying): hand the translation to someone else. A late duplicate
+		// transDone is harmless — handleTransDone is idempotent.
+		st.e.stats.Timeouts++
+		st.e.stats.Retries++
+		delete(st.outstanding, t)
+		en := st.entry(ow.pc)
+		en.inflight = false
+		st.push(ow.pc, ow.depth)
+	}
+	st.dispatch()
+	if st.rebankPend && now >= st.rebankDeadline {
+		st.e.stats.Timeouts++
+		st.e.stats.Retries++
+		st.sendRebank()
+	}
+}
+
+// handleBeat records a worker's liveness. A heartbeat from a slave the
+// manager believes is busy-with-nothing (not parked, no outstanding
+// work) doubles as an implicit work request: it means the slave's
+// workReq was lost in flight and it is idle waiting for work that will
+// never come.
+func (st *managerState) handleBeat(from int) {
+	role, isWorker := st.roles[from]
+	if !isWorker || role == roleDead {
+		return
+	}
+	st.lastBeat[from] = st.c.Now()
+	if role != roleSlave {
+		return
+	}
+	if _, busy := st.outstanding[from]; busy {
+		return
+	}
+	for _, s := range st.parked {
+		if s == from {
+			return
+		}
+	}
+	st.handleWorkReq(from)
+}
+
+// handleRebankAck completes the manager↔MMU remap handshake.
+func (st *managerState) handleRebankAck(m rebankAck) {
+	if m.Gen != st.rebankGen {
+		return // stale ack for a superseded rebank
+	}
+	st.rebankPend = false
+	if st.detectAt > 0 {
+		st.e.stats.RecoveryCycles += st.c.Now() - st.detectAt
+		st.detectAt = 0
+	}
+}
+
+// excise removes a dead tile from the virtual architecture — the
+// morph-around-failure path. A dead slave's in-flight translation is
+// re-queued; a dead bank's address fraction is redistributed over the
+// survivors: its dirty lines are accounted as lost writebacks, the
+// surviving banks are flushed (the interleave function changed, the
+// same flush a morph performs), and the MMU is re-pointed at the new
+// bank set via the acknowledged rebank handshake.
+func (st *managerState) excise(t int) {
+	P := st.e.cfg.Params
+	role := st.roles[t]
+	st.roles[t] = roleDead
+	st.e.stats.RoleRemaps++
+	st.c.Tick(P.RecoveryOcc)
+
+	kept := st.parked[:0]
+	for _, s := range st.parked {
+		if s != t {
+			kept = append(kept, s)
+		}
+	}
+	st.parked = kept
+
+	if ow, ok := st.outstanding[t]; ok {
+		delete(st.outstanding, t)
+		en := st.entry(ow.pc)
+		en.inflight = false
+		st.push(ow.pc, ow.depth)
+	}
+	if role != roleBank {
+		st.dispatch()
+		return
+	}
+
+	if bank := st.e.bankOf[t]; bank != nil {
+		st.e.stats.WritebacksLost += uint64(bank.Cache.DirtyLines())
+	}
+	var live []int
+	for _, b := range st.banksNow {
+		if b != t {
+			live = append(live, b)
+		}
+	}
+	if len(live) == 0 {
+		// No surviving bank to absorb the address space; leave routing
+		// as-is and let the simulation watchdog report the loss.
+		return
+	}
+	st.banksNow = live
+	for _, b := range st.banksNow {
+		st.c.Send(b, reconfig{Role: roleBank}, wordsCtl)
+	}
+	st.detectAt = st.c.Now()
+	st.sendRebank()
+}
+
+// sendRebank (re-)issues the current bank set to the MMU under a fresh
+// generation and arms the resend watchdog.
+func (st *managerState) sendRebank() {
+	st.rebankGen++
+	banks := append([]int(nil), st.banksNow...)
+	st.c.Send(st.e.pl.mmu, rebank{Banks: banks, Gen: st.rebankGen}, wordsCtl)
+	st.rebankPend = true
+	st.rebankDeadline = st.c.Now() + st.e.cfg.Params.NetWatchdog
 }
 
 // handleHelp services the peer's request for a slave: immediately if
@@ -157,7 +351,7 @@ func (st *managerState) handleCodeReq(m codeReq) {
 		st.c.Send(m.ReplyTo, codeResp{PC: m.PC, Res: nil}, wordsCtl)
 		return
 	}
-	st.waiters[m.PC] = append(st.waiters[m.PC], waiter{m.ReplyTo, m.FillBank})
+	st.waiters[m.PC] = append(st.waiters[m.PC], waiter{m.ReplyTo, m.FillBank, m.Seq})
 	if !en.inflight {
 		st.push(m.PC, 0)
 	}
@@ -169,7 +363,7 @@ func (st *managerState) handleCodeReq(m codeReq) {
 // L1.5 bank.
 func (st *managerState) respond(m codeReq, res *translate.Result) {
 	words := res.CodeBytes / 4
-	st.c.Send(m.ReplyTo, codeResp{PC: m.PC, Res: res}, words)
+	st.c.Send(m.ReplyTo, codeResp{PC: m.PC, Res: res, Seq: m.Seq}, words)
 	if m.FillBank >= 0 {
 		st.c.Send(m.FillBank, fill{PC: m.PC, Res: res}, words)
 	}
@@ -231,7 +425,29 @@ func (st *managerState) queuedLen() int {
 // handleWorkReq parks an idle slave or hands it work.
 func (st *managerState) handleWorkReq(slave int) {
 	if st.roles[slave] != roleSlave {
-		return // reconfigured while the request was in flight
+		return // reconfigured (or excised) while the request was in flight
+	}
+	if st.e.robust {
+		// A slave asking for work is not translating: if the manager
+		// still counts it busy, the work unit or its transDone was lost
+		// in flight. Re-queue immediately — waiting out the work
+		// watchdog would be correct but slow, and parking the slave
+		// without this would overwrite its outstanding entry, orphaning
+		// the translation as permanently "inflight".
+		if ow, ok := st.outstanding[slave]; ok {
+			st.e.stats.Retries++
+			delete(st.outstanding, slave)
+			en := st.entry(ow.pc)
+			en.inflight = false
+			st.push(ow.pc, ow.depth)
+		}
+		// A delayed workReq can race the heartbeat-implied one; never
+		// park a slave twice.
+		for _, s := range st.parked {
+			if s == slave {
+				return
+			}
+		}
 	}
 	st.c.Tick(st.e.cfg.Params.TransRequestOcc)
 	st.parked = append(st.parked, slave)
@@ -252,6 +468,10 @@ func (st *managerState) dispatch() {
 		en := st.entry(pc)
 		en.queued = false
 		en.inflight = true
+		if st.e.robust {
+			st.outstanding[slave] = outWork{pc: pc, depth: depth,
+				deadline: st.c.Now() + st.e.cfg.Params.WorkWatchdog}
+		}
 		st.c.Send(slave, st.workFor(pc, depth), wordsCtl)
 	}
 	if !st.e.lend || st.e.peerMgr < 0 {
@@ -297,9 +517,16 @@ func (st *managerState) staleSMC(m transDone) bool {
 }
 
 // handleTransDone stores a finished translation, wakes demand waiters,
-// and enqueues speculative successors.
-func (st *managerState) handleTransDone(m transDone) {
+// and enqueues speculative successors. It is idempotent so that the
+// fault-recovery watchdogs may re-dispatch work whose first result was
+// merely slow rather than lost.
+func (st *managerState) handleTransDone(m transDone, from int) {
 	P := st.e.cfg.Params
+	if st.e.robust {
+		if ow, ok := st.outstanding[from]; ok && ow.pc == m.PC {
+			delete(st.outstanding, from)
+		}
+	}
 	en := st.entry(m.PC)
 	en.inflight = false
 	st.e.stats.Translations++
@@ -316,7 +543,7 @@ func (st *managerState) handleTransDone(m transDone) {
 	if m.Res == nil {
 		en.bad = true
 		for _, w := range st.waiters[m.PC] {
-			st.c.Send(w.replyTo, codeResp{PC: m.PC, Res: nil}, wordsCtl)
+			st.c.Send(w.replyTo, codeResp{PC: m.PC, Res: nil, Seq: w.seq}, wordsCtl)
 		}
 		delete(st.waiters, m.PC)
 		st.dispatch()
@@ -334,7 +561,7 @@ func (st *managerState) handleTransDone(m transDone) {
 
 	if ws, ok := st.waiters[m.PC]; ok {
 		for _, w := range ws {
-			st.respond(codeReq{PC: m.PC, ReplyTo: w.replyTo, FillBank: w.fillBank}, m.Res)
+			st.respond(codeReq{PC: m.PC, ReplyTo: w.replyTo, FillBank: w.fillBank, Seq: w.seq}, m.Res)
 		}
 		delete(st.waiters, m.PC)
 	} else if m.Depth > 0 {
@@ -405,20 +632,38 @@ func (st *managerState) morphEval() {
 	}
 	perm := st.e.pl.banks[0]
 	for _, t := range st.e.pl.switchable {
+		if st.roles[t] == roleDead {
+			continue // excised after a suspected fail-stop; leave it out
+		}
 		st.roles[t] = newRole
 		st.c.Send(t, reconfig{Role: newRole}, wordsCtl)
 	}
 	// The permanent bank must flush too: the interleave function
 	// changes with the bank count.
-	st.c.Send(perm, reconfig{Role: roleBank}, wordsCtl)
+	if st.roles[perm] != roleDead {
+		st.c.Send(perm, reconfig{Role: roleBank}, wordsCtl)
+	}
 
-	banks := []int{perm}
+	var banks []int
+	if st.roles[perm] != roleDead {
+		banks = append(banks, perm)
+	}
 	if !wantTrans {
 		for i := len(st.e.pl.switchable) - 1; i >= 0; i-- {
-			banks = append(banks, st.e.pl.switchable[i])
+			if t := st.e.pl.switchable[i]; st.roles[t] == roleBank {
+				banks = append(banks, t)
+			}
 		}
 	}
-	st.c.Send(st.e.pl.mmu, rebank{Banks: banks}, wordsCtl)
+	switch {
+	case len(banks) == 0:
+		// Every candidate bank was excised; keep the previous routing.
+	case st.e.robust:
+		st.banksNow = banks
+		st.sendRebank()
+	default:
+		st.c.Send(st.e.pl.mmu, rebank{Banks: banks}, wordsCtl)
+	}
 
 	// Remove reconfigured tiles from the parked pool.
 	kept := st.parked[:0]

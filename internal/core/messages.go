@@ -8,18 +8,23 @@ import "tilevm/internal/translate"
 
 // codeReq asks for the translated block at PC. ReplyTo is the tile the
 // block should be delivered to (the execution tile); FillBank, if ≥ 0,
-// is the L1.5 bank the manager should also fill on the way back.
+// is the L1.5 bank the manager should also fill on the way back. Seq
+// sequence-numbers the requester's demand fetches so retried requests
+// under fault injection can be told apart from the original.
 type codeReq struct {
 	PC       uint32
 	ReplyTo  int
 	FillBank int
+	Seq      uint64
 }
 
 // codeResp delivers a translated block (nil if the address is
-// untranslatable — the guest jumped to garbage).
+// untranslatable — the guest jumped to garbage). Seq echoes the
+// triggering request's sequence number.
 type codeResp struct {
 	PC  uint32
 	Res *translate.Result
+	Seq uint64
 }
 
 // fill populates an L1.5 bank in the background.
@@ -106,15 +111,21 @@ type memResp struct {
 }
 
 // sysReq proxies a guest syscall: the pinned registers r1..r9
-// (EAX..EDI + EFLAGS) by host index.
+// (EAX..EDI + EFLAGS) by host index. ID makes the proxy an
+// at-most-once RPC under fault injection: a retried request carries
+// the same ID and the syscall tile replays the cached response rather
+// than re-executing a non-idempotent syscall.
 type sysReq struct {
 	Regs [10]uint32
+	ID   uint64
 }
 
-// sysResp returns the updated registers and exit status.
+// sysResp returns the updated registers and exit status. ID echoes the
+// request.
 type sysResp struct {
 	Regs   [10]uint32
 	Exited bool
+	ID     uint64
 }
 
 // roleKind is a switchable tile's current function.
@@ -123,6 +134,9 @@ type roleKind uint8
 const (
 	roleSlave roleKind = iota
 	roleBank
+	// roleDead marks a tile the manager has excised after a detected
+	// fail-stop; it is never dispatched to or routed through again.
+	roleDead
 )
 
 // reconfig retargets a switchable tile (dynamic virtual architecture
@@ -133,10 +147,23 @@ type reconfig struct {
 }
 
 // rebank tells the MMU tile the new data-bank set, in interleave
-// order.
+// order. Gen, when nonzero, requests a rebankAck (fault-recovery
+// protocol: the manager resends an unacknowledged rebank so a dropped
+// one cannot leave the MMU routing to a dead bank forever).
 type rebank struct {
 	Banks []int
+	Gen   uint64
 }
+
+// rebankAck confirms the MMU installed the bank set with this Gen.
+type rebankAck struct {
+	Gen uint64
+}
+
+// heartbeat is a worker tile's periodic liveness beacon to the manager
+// (sent only in fault-recovery mode). The manager excises a worker
+// whose heartbeats stop arriving.
+type heartbeat struct{}
 
 // Approximate message sizes in words for network charging.
 const (

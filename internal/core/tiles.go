@@ -5,6 +5,7 @@ import (
 	"tilevm/internal/dcache"
 	"tilevm/internal/mmu"
 	"tilevm/internal/raw"
+	"tilevm/internal/sim"
 )
 
 // workerBody returns the kernel for a slave/bank tile. Every worker can
@@ -18,11 +19,34 @@ func (e *engine) workerBody(initial roleKind) func(*raw.TileCtx) {
 		P := e.cfg.Params
 		role := initial
 		bank := dcache.NewBank(P.L2DBankBytes, P.L2DWays, P.L2DLine)
+		if e.robust {
+			// Register the bank state so the manager can account lost
+			// writebacks if this tile dies, and arm the heartbeat timer.
+			e.bankOf[c.Tile] = bank
+		}
+		nextBeat := c.Now() + P.HeartbeatPeriod
 		if role == roleSlave {
 			c.Send(e.pl.manager, workReq{}, wordsCtl)
 		}
 		for {
-			msg := c.Recv()
+			var msg sim.Msg
+			if e.robust {
+				// Beat even when saturated with back-to-back requests:
+				// the manager must not mistake a busy tile for a dead
+				// one.
+				if c.Now() >= nextBeat {
+					c.Tick(P.HeartbeatOcc)
+					c.Send(e.pl.manager, heartbeat{}, wordsCtl)
+					nextBeat = c.Now() + P.HeartbeatPeriod
+				}
+				var ok bool
+				msg, ok = c.RecvDeadline(nextBeat)
+				if !ok {
+					continue
+				}
+			} else {
+				msg = c.Recv()
+			}
 			switch m := msg.Payload.(type) {
 			case work:
 				e.doTranslate(c, m, msg.From)
@@ -50,6 +74,11 @@ func (e *engine) workerBody(initial roleKind) func(*raw.TileCtx) {
 				if miss {
 					e.stats.L2DMisses++
 					c.Tick(P.DRAMLat + P.BankLineFill)
+					if e.inj != nil && e.inj.DRAMError(c.Tile) {
+						// Detected ECC error on the fill: retry the DRAM
+						// round trip.
+						c.Tick(P.DRAMLat)
+					}
 				}
 				if wb {
 					c.Tick(P.BankLineFill)
@@ -133,18 +162,34 @@ func (e *engine) mmuKernel(c *raw.TileCtx) {
 			c.Send(b, memFwd{PAddr: local, Write: req.Write, ReplyTo: req.ReplyTo, ID: req.ID}, wordsMemReq)
 		case rebank:
 			banks = append(banks[:0], req.Banks...)
+			if req.Gen > 0 {
+				c.Send(msg.From, rebankAck{Gen: req.Gen}, wordsCtl)
+			}
 		}
 	}
 }
 
-// sysKernel runs the syscall proxy tile.
+// sysKernel runs the syscall proxy tile. In fault-recovery mode it
+// deduplicates by request ID so a retried (non-idempotent) syscall is
+// executed at most once; the cached response is replayed instead.
 func (e *engine) sysKernel(c *raw.TileCtx) {
 	P := e.cfg.Params
+	var done map[uint64]sysResp
+	if e.robust {
+		done = map[uint64]sysResp{}
+	}
 	for {
 		msg := c.Recv()
 		req, ok := msg.Payload.(sysReq)
 		if !ok {
 			continue
+		}
+		if e.robust {
+			if r, seen := done[req.ID]; seen {
+				c.Tick(P.SyscallOcc)
+				c.Send(msg.From, r, wordsSys)
+				continue
+			}
 		}
 		c.Tick(P.SyscallOcc)
 		var regs [8]uint32
@@ -158,6 +203,10 @@ func (e *engine) sysKernel(c *raw.TileCtx) {
 			resp.Regs[1+i] = regs[i]
 		}
 		resp.Exited = e.proc.Kern.Exited
+		resp.ID = req.ID
+		if e.robust {
+			done[req.ID] = resp
+		}
 		c.Send(msg.From, resp, wordsSys)
 	}
 }

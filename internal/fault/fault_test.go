@@ -1,0 +1,152 @@
+package fault
+
+import (
+	"testing"
+)
+
+func TestParsePlanRoundTrip(t *testing.T) {
+	in := "fail:8@200000,stall:7@50000+20000,drop:0.001,delay:0.002+40,corrupt:0.0005,dram:0.01"
+	p, err := ParsePlan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Fails) != 1 || p.Fails[0] != (TileFail{Tile: 8, Cycle: 200000}) {
+		t.Errorf("fails = %+v", p.Fails)
+	}
+	if len(p.Stalls) != 1 || p.Stalls[0] != (TileStall{Tile: 7, Cycle: 50000, Dur: 20000}) {
+		t.Errorf("stalls = %+v", p.Stalls)
+	}
+	if p.DropProb != 0.001 || p.DelayProb != 0.002 || p.DelayCycles != 40 ||
+		p.CorruptProb != 0.0005 || p.DRAMProb != 0.01 {
+		t.Errorf("probs = %+v", p)
+	}
+	back, err := ParsePlan(p.String())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", p.String(), err)
+	}
+	if back.String() != p.String() {
+		t.Errorf("round trip %q != %q", back.String(), p.String())
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	for _, bad := range []string{
+		"fail:8", "fail:x@1", "stall:1@2", "drop:2", "drop:x", "delay:0.5",
+		"frobnicate:1", "fail", "dram:-0.1",
+	} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", bad)
+		}
+	}
+}
+
+func TestEmptyPlan(t *testing.T) {
+	p, err := ParsePlan("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Empty() {
+		t.Error("parsed empty plan not Empty")
+	}
+	if NewInjector(p) != nil {
+		t.Error("injector for empty plan should be nil")
+	}
+	if NewInjector(nil) != nil {
+		t.Error("injector for nil plan should be nil")
+	}
+	var nilInj *Injector
+	if nilInj.Counts().Total() != 0 {
+		t.Error("nil injector counts nonzero")
+	}
+}
+
+// TestInjectorDeterminism: the same seed must answer the same query
+// sequence identically.
+func TestInjectorDeterminism(t *testing.T) {
+	plan := &Plan{
+		Seed: 42, DropProb: 0.1, DelayProb: 0.2, DelayCycles: 40,
+		CorruptProb: 0.05, DRAMProb: 0.15,
+		Fails:  []TileFail{{Tile: 3, Cycle: 100}},
+		Stalls: []TileStall{{Tile: 5, Cycle: 50, Dur: 7}},
+	}
+	run := func() ([]Verdict, Counts) {
+		in := NewInjector(plan)
+		var vs []Verdict
+		for i := 0; i < 5000; i++ {
+			vs = append(vs, in.OnMessage(i%16, (i+3)%16))
+			in.DRAMError(i % 16)
+			in.FailedAt(3, uint64(i))
+			in.StallTake(5, uint64(i))
+		}
+		return vs, in.Counts()
+	}
+	v1, c1 := run()
+	v2, c2 := run()
+	if c1 != c2 {
+		t.Fatalf("counts diverged: %+v vs %+v", c1, c2)
+	}
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatalf("verdict %d diverged: %+v vs %+v", i, v1[i], v2[i])
+		}
+	}
+	if c1.Drops == 0 || c1.Delays == 0 || c1.Corruptions == 0 || c1.DRAMErrors == 0 {
+		t.Errorf("probabilistic faults never fired: %+v", c1)
+	}
+	if c1.Fails != 1 {
+		t.Errorf("fail counted %d times, want 1", c1.Fails)
+	}
+	if c1.Stalls != 1 {
+		t.Errorf("stall counted %d times, want 1", c1.Stalls)
+	}
+}
+
+// TestSeedChangesSchedule: different seeds must produce different
+// fault schedules (with overwhelming probability at these sizes).
+func TestSeedChangesSchedule(t *testing.T) {
+	drawn := func(seed uint64) []bool {
+		in := NewInjector(&Plan{Seed: seed, DropProb: 0.5})
+		var out []bool
+		for i := 0; i < 64; i++ {
+			out = append(out, in.OnMessage(0, 1).Drop)
+		}
+		return out
+	}
+	a, b := drawn(1), drawn(2)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 1 and 2 produced identical drop schedules")
+	}
+}
+
+func TestFailedAtAndStallTake(t *testing.T) {
+	in := NewInjector(&Plan{Fails: []TileFail{{Tile: 2, Cycle: 1000}},
+		Stalls: []TileStall{{Tile: 2, Cycle: 500, Dur: 99}}})
+	if in.FailedAt(2, 999) {
+		t.Error("failed before cycle")
+	}
+	if !in.FailedAt(2, 1000) || !in.FailedAt(2, 2000) {
+		t.Error("not failed at/after cycle")
+	}
+	if in.FailedAt(3, 5000) {
+		t.Error("unplanned tile failed")
+	}
+	if d := in.StallTake(2, 499); d != 0 {
+		t.Errorf("stall fired early: %d", d)
+	}
+	if d := in.StallTake(2, 600); d != 99 {
+		t.Errorf("stall = %d, want 99", d)
+	}
+	if d := in.StallTake(2, 700); d != 0 {
+		t.Errorf("stall fired twice: %d", d)
+	}
+	if c := in.Counts(); c.Fails != 1 || c.Stalls != 1 {
+		t.Errorf("counts = %+v", c)
+	}
+}

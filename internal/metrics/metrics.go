@@ -46,6 +46,20 @@ type Set struct {
 
 	// Self-modifying code.
 	SMCInvalidations uint64
+
+	// Fault injection and recovery (all zero on fault-free runs).
+	FaultsInjected uint64 // total faults of all kinds actually injected
+	MsgsDropped    uint64
+	MsgsDelayed    uint64
+	MsgsCorrupted  uint64
+	DRAMErrors     uint64
+	TileFails      uint64 // fail-stops observed
+	TileStalls     uint64 // transient stalls charged
+	Timeouts       uint64 // watchdog expiries (exec retries + manager deadlines)
+	Retries        uint64 // requests re-sent after a timeout
+	RoleRemaps     uint64 // dead tiles excised from the virtual architecture
+	WritebacksLost uint64 // dirty lines in a bank at the moment it died
+	RecoveryCycles uint64 // detection-to-remap latency, summed over excisions
 }
 
 // L2CAccessesPerCycle is Figure 6's metric.

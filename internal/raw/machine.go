@@ -7,6 +7,7 @@ package raw
 import (
 	"fmt"
 
+	"tilevm/internal/fault"
 	"tilevm/internal/sim"
 )
 
@@ -16,7 +17,21 @@ type Machine struct {
 	Sim    *sim.Simulator
 	inbox  []*sim.Port
 	busy   []uint64
+
+	// Faults, if non-nil, injects the configured fault plan into the
+	// dynamic network and the tile scheduler. When nil (the default)
+	// no fault code path runs, so a fault-free machine is bit-identical
+	// to one built before this field existed.
+	Faults *fault.Injector
 }
+
+// Corrupted wraps a payload mangled in flight. The model is a detected
+// transmission error: the receiver's network interface flags the CRC
+// mismatch and the kernel discards the message, so a corrupted message
+// costs its delivery (and any retry by the sender) but never delivers
+// wrong data. Kernels discard it by not matching it in their payload
+// type switches.
+type Corrupted struct{ Payload any }
 
 // NewMachine builds a machine with one inbox port per tile.
 func NewMachine(p Params) *Machine {
@@ -53,21 +68,61 @@ type TileCtx struct {
 
 // Send transmits a payload of the given size in words to another tile,
 // charging header, per-hop, and serialization latency. The sender's
-// accrued local time is the departure time.
+// accrued local time is the departure time. Under fault injection a
+// message may be dropped, delayed, or corrupted in flight.
 func (c *TileCtx) Send(to int, payload any, words int) {
 	arrival := c.P.Now() + c.M.Params.NetLat(c.Tile, to, words)
+	if f := c.M.Faults; f != nil {
+		v := f.OnMessage(c.Tile, to)
+		if v.Drop {
+			return
+		}
+		if v.Corrupt {
+			payload = Corrupted{Payload: payload}
+		}
+		arrival += v.Delay
+	}
 	c.M.inbox[to].Send(c.Tile, payload, arrival)
 }
 
+// faultCheck applies tile-level faults at a scheduling point: pending
+// transient stalls are charged, and a fail-stopped tile drops into a
+// permanent inbox-draining loop (fail-stop semantics: messages to a
+// dead tile vanish; the dead tile never speaks again). The drain loop
+// marks the process as a daemon so a machine idling around a dead tile
+// is not misreported as deadlocked.
+func (c *TileCtx) faultCheck() {
+	f := c.M.Faults
+	if f == nil {
+		return
+	}
+	if d := f.StallTake(c.Tile, c.P.Now()); d > 0 {
+		c.Advance(d)
+	}
+	if f.FailedAt(c.Tile, c.P.Now()) {
+		c.P.SetDaemon(true)
+		inbox := c.M.Inbox(c.Tile)
+		for {
+			c.P.Recv(inbox)
+		}
+	}
+}
+
 // Recv blocks until a message arrives at this tile.
-func (c *TileCtx) Recv() sim.Msg { return c.P.Recv(c.M.Inbox(c.Tile)) }
+func (c *TileCtx) Recv() sim.Msg {
+	m := c.P.Recv(c.M.Inbox(c.Tile))
+	c.faultCheck()
+	return m
+}
 
 // TryRecv polls the tile inbox without blocking.
 func (c *TileCtx) TryRecv() (sim.Msg, bool) { return c.P.TryRecv(c.M.Inbox(c.Tile)) }
 
 // RecvDeadline waits for a message until the deadline.
 func (c *TileCtx) RecvDeadline(deadline sim.Time) (sim.Msg, bool) {
-	return c.P.RecvDeadline(c.M.Inbox(c.Tile), deadline)
+	m, ok := c.P.RecvDeadline(c.M.Inbox(c.Tile), deadline)
+	c.faultCheck()
+	return m, ok
 }
 
 // Now returns the tile's local virtual time.

@@ -69,6 +69,17 @@ type Params struct {
 	ExecUnits    int    // issue width of a tile (1: in-order single issue)
 	MorphFixed   uint64 // fixed cost to switch a tile's role
 	MorphPerLine uint64 // cost per dirty line written back during a flush
+
+	// Fault-tolerance protocol costs and deadlines (active only when a
+	// fault plan is installed with recovery enabled; with faults off no
+	// code consults them, preserving bit-identical fault-free runs).
+	HeartbeatPeriod  uint64 // cycles between worker-tile heartbeats to the manager
+	HeartbeatTimeout uint64 // silence after which the manager declares a worker dead
+	NetWatchdog      uint64 // base reply timeout for request/reply round trips
+	WorkWatchdog     uint64 // manager deadline for a dispatched translation
+	RetryBackoffMax  uint64 // cap on the exponential retry backoff
+	HeartbeatOcc     uint64 // worker occupancy to emit one heartbeat
+	RecoveryOcc      uint64 // manager bookkeeping to excise a dead tile
 }
 
 // DefaultParams returns the modeled Raw prototype: a 4×4 grid with the
@@ -122,6 +133,14 @@ func DefaultParams() Params {
 		ExecUnits:    1,
 		MorphFixed:   500,
 		MorphPerLine: 24,
+
+		HeartbeatPeriod:  25_000,
+		HeartbeatTimeout: 80_000,
+		NetWatchdog:      20_000,
+		WorkWatchdog:     120_000,
+		RetryBackoffMax:  160_000,
+		HeartbeatOcc:     4,
+		RecoveryOcc:      500,
 	}
 }
 

@@ -86,9 +86,10 @@ func (p *Proc) Recv(pt *Port) Msg {
 			return heap.Pop(&pt.q).(Msg)
 		}
 		if pt.waiter != nil && pt.waiter != p {
-			panic("sim: two processes blocked in Recv on port " + pt.name)
+			p.abort(&PortConflictError{Port: pt.name, First: pt.waiter.name, Second: p.name})
 		}
 		pt.waiter = p
+		p.blockedOn = pt
 		if len(pt.q) > 0 {
 			// Earliest message is in the future: sleep until it lands.
 			p.sim.schedule(p, pt.q[0].Arrival)
@@ -96,6 +97,7 @@ func (p *Proc) Recv(pt *Port) Msg {
 		} else {
 			p.block()
 		}
+		p.blockedOn = nil
 		pt.waiter = nil
 	}
 }
@@ -122,15 +124,17 @@ func (p *Proc) RecvDeadline(pt *Port, deadline Time) (Msg, bool) {
 			return Msg{}, false
 		}
 		if pt.waiter != nil && pt.waiter != p {
-			panic("sim: two processes blocked in Recv on port " + pt.name)
+			p.abort(&PortConflictError{Port: pt.name, First: pt.waiter.name, Second: p.name})
 		}
 		pt.waiter = p
+		p.blockedOn = pt
 		at := deadline
 		if len(pt.q) > 0 && pt.q[0].Arrival < at {
 			at = pt.q[0].Arrival
 		}
 		p.sim.schedule(p, at)
 		p.park()
+		p.blockedOn = nil
 		pt.waiter = nil
 	}
 }

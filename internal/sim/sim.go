@@ -16,6 +16,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"strings"
 )
 
 // Time is a point in virtual time, in cycles.
@@ -50,14 +51,73 @@ func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h 
 
 // Simulator is a deterministic discrete-event scheduler.
 type Simulator struct {
-	now     Time
-	events  eventHeap
-	seq     uint64
-	procs   []*Proc
-	parked  chan struct{} // signalled by a proc when it parks or exits
-	stopped bool
-	limit   Time // 0 means no limit
-	started bool
+	now      Time
+	events   eventHeap
+	seq      uint64
+	procs    []*Proc
+	parked   chan struct{} // signalled by a proc when it parks or exits
+	stopped  bool
+	limit    Time // 0 means no limit
+	started  bool
+	abortErr error // fatal error raised from inside a process
+}
+
+// BlockedProc is one entry of a DeadlockError: a process stuck in Recv
+// with no way to make progress, and the port it is waiting on.
+type BlockedProc struct {
+	Proc string
+	Port string // empty if the process blocked outside a port Recv
+	// Daemon marks a process excused from deadlock detection (a
+	// fail-stopped tile draining its inbox); it is reported for
+	// diagnosis but does not by itself constitute a deadlock.
+	Daemon bool
+}
+
+// DeadlockError reports global quiescence with blocked processes: no
+// event is pending and at least one non-daemon process is waiting on a
+// port. The Blocked list is in process-id order, so the report is
+// deterministic.
+type DeadlockError struct {
+	Now     Time
+	Blocked []BlockedProc
+}
+
+func (e *DeadlockError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim: deadlock at cycle %d: %d process(es) blocked with no pending events", e.Now, len(e.Blocked))
+	for _, p := range e.Blocked {
+		port := p.Port
+		if port == "" {
+			port = "<no port>"
+		}
+		state := "blocked"
+		if p.Daemon {
+			state = "failed (daemon)"
+		}
+		fmt.Fprintf(&b, "\n  %-16s %s on port %s", p.Proc, state, port)
+	}
+	return b.String()
+}
+
+// PortConflictError reports two processes blocking in Recv on the same
+// port, a structural misuse of the machine model.
+type PortConflictError struct {
+	Port   string
+	First  string // the process already waiting
+	Second string // the process whose Recv detected the conflict
+}
+
+func (e *PortConflictError) Error() string {
+	return fmt.Sprintf("sim: processes %q and %q both blocked in Recv on port %q",
+		e.First, e.Second, e.Port)
+}
+
+// TimeLimitError reports that virtual time exceeded the SetLimit
+// watchdog.
+type TimeLimitError struct{ Limit Time }
+
+func (e *TimeLimitError) Error() string {
+	return fmt.Sprintf("sim: time limit %d exceeded", e.Limit)
 }
 
 // New returns an empty simulator.
@@ -93,16 +153,18 @@ const (
 // Proc is a simulation process. All methods must be called from within
 // the process's own body function.
 type Proc struct {
-	sim     *Simulator
-	id      int
-	name    string
-	resume  chan struct{}
-	state   parkKind
-	local   Time // cycles accumulated since last sync
-	killed  bool
-	body    func(*Proc)
-	wakeSeq uint64
-	wakeAt  Time
+	sim       *Simulator
+	id        int
+	name      string
+	resume    chan struct{}
+	state     parkKind
+	local     Time // cycles accumulated since last sync
+	killed    bool
+	body      func(*Proc)
+	wakeSeq   uint64
+	wakeAt    Time
+	blockedOn *Port // port this process is blocked in Recv on, if any
+	daemon    bool
 }
 
 // Spawn registers a new process. The body runs when Run is called.
@@ -174,7 +236,7 @@ func (s *Simulator) Run() error {
 		}
 		if s.limit != 0 && ev.at > s.limit {
 			s.stopped = true
-			err = fmt.Errorf("sim: time limit %d exceeded", s.limit)
+			err = &TimeLimitError{Limit: s.limit}
 			break
 		}
 		s.now = ev.at
@@ -182,13 +244,30 @@ func (s *Simulator) Run() error {
 		ev.proc.resume <- struct{}{}
 		<-s.parked
 	}
-	if !s.stopped && len(s.events) == 0 {
-		// Quiescence: fine if every proc is done, deadlock otherwise.
+	if s.abortErr != nil && err == nil {
+		err = s.abortErr
+	}
+	if !s.stopped && len(s.events) == 0 && err == nil {
+		// Quiescence: fine if every proc is done (or a fail-stopped
+		// daemon), deadlock otherwise — reported with a per-process
+		// blocked-port diagnostic instead of hanging or panicking.
+		var blocked []BlockedProc
+		real := false
 		for _, p := range s.procs {
-			if p.state == parkBlocked {
-				err = fmt.Errorf("sim: deadlock: process %q blocked with no pending events", p.name)
-				break
+			if p.state != parkBlocked {
+				continue
 			}
+			port := ""
+			if p.blockedOn != nil {
+				port = p.blockedOn.name
+			}
+			blocked = append(blocked, BlockedProc{Proc: p.name, Port: port, Daemon: p.daemon})
+			if !p.daemon {
+				real = true
+			}
+		}
+		if real {
+			err = &DeadlockError{Now: s.now, Blocked: blocked}
 		}
 	}
 	s.kill()
@@ -210,6 +289,22 @@ func (s *Simulator) kill() {
 
 // Stop ends the simulation after the calling process parks.
 func (p *Proc) Stop() { p.sim.stopped = true }
+
+// SetDaemon excuses the process from deadlock detection: a daemon
+// blocked forever (a fail-stopped tile draining its inbox) is listed
+// in the DeadlockError report but does not itself constitute deadlock.
+func (p *Proc) SetDaemon(v bool) { p.daemon = v }
+
+// abort raises a fatal simulation error from inside a process body and
+// unwinds the calling goroutine. Run returns the error after killing
+// the remaining processes.
+func (p *Proc) abort(err error) {
+	if p.sim.abortErr == nil {
+		p.sim.abortErr = err
+	}
+	p.sim.stopped = true
+	panic(errKilled{})
+}
 
 // ID returns the process id (spawn order).
 func (p *Proc) ID() int { return p.id }

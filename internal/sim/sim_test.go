@@ -1,8 +1,12 @@
 package sim
 
 import (
+	"errors"
 	"testing"
 )
+
+// errorsAs adapts errors.As to the test helpers above.
+func errorsAs(err error, target any) bool { return err != nil && errors.As(err, target) }
 
 func TestAdvanceOrdering(t *testing.T) {
 	s := New()
@@ -204,6 +208,87 @@ func TestDeadlockDetected(t *testing.T) {
 	})
 	if err := s.Run(); err == nil {
 		t.Fatal("Run returned nil, want deadlock error")
+	}
+}
+
+// TestDeadlockReportsBlockedPorts: the deadlock error must carry a
+// per-process report of which port each blocked process is waiting on.
+func TestDeadlockReportsBlockedPorts(t *testing.T) {
+	s := New()
+	pa := s.NewPort("tile3.in")
+	pb := s.NewPort("tile7.in")
+	s.Spawn("exec", func(p *Proc) {
+		p.Advance(10)
+		p.Recv(pa)
+	})
+	s.Spawn("bank", func(p *Proc) {
+		p.Recv(pb)
+	})
+	err := s.Run()
+	var dl *DeadlockError
+	if !errorsAs(err, &dl) {
+		t.Fatalf("Run = %v, want *DeadlockError", err)
+	}
+	if dl.Now != 10 {
+		t.Errorf("deadlock at %d, want 10", dl.Now)
+	}
+	if len(dl.Blocked) != 2 {
+		t.Fatalf("blocked = %+v, want 2 entries", dl.Blocked)
+	}
+	if dl.Blocked[0].Proc != "exec" || dl.Blocked[0].Port != "tile3.in" {
+		t.Errorf("entry 0 = %+v", dl.Blocked[0])
+	}
+	if dl.Blocked[1].Proc != "bank" || dl.Blocked[1].Port != "tile7.in" {
+		t.Errorf("entry 1 = %+v", dl.Blocked[1])
+	}
+}
+
+// TestDaemonDoesNotDeadlock: a daemon process blocked forever must not
+// turn quiescence into a deadlock on its own.
+func TestDaemonDoesNotDeadlock(t *testing.T) {
+	s := New()
+	pt := s.NewPort("dead.in")
+	s.Spawn("deadtile", func(p *Proc) {
+		p.SetDaemon(true)
+		p.Recv(pt)
+	})
+	s.Spawn("worker", func(p *Proc) {
+		p.Advance(100)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run = %v, want nil (only a daemon is blocked)", err)
+	}
+}
+
+// TestPortConflictIsError: two processes blocking in Recv on one port
+// must surface as a PortConflictError from Run, not a panic.
+func TestPortConflictIsError(t *testing.T) {
+	s := New()
+	pt := s.NewPort("shared")
+	s.Spawn("first", func(p *Proc) { p.Recv(pt) })
+	s.Spawn("second", func(p *Proc) { p.Recv(pt) })
+	err := s.Run()
+	var pc *PortConflictError
+	if !errorsAs(err, &pc) {
+		t.Fatalf("Run = %v, want *PortConflictError", err)
+	}
+	if pc.Port != "shared" || pc.First != "first" || pc.Second != "second" {
+		t.Errorf("conflict = %+v", pc)
+	}
+}
+
+func TestTimeLimitErrorType(t *testing.T) {
+	s := New()
+	s.SetLimit(50)
+	s.Spawn("spinner", func(p *Proc) {
+		for {
+			p.Advance(10)
+		}
+	})
+	err := s.Run()
+	var tl *TimeLimitError
+	if !errorsAs(err, &tl) || tl.Limit != 50 {
+		t.Fatalf("Run = %v, want *TimeLimitError{50}", err)
 	}
 }
 
