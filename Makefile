@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check vet build test race fuzz
+.PHONY: check vet build test race racepar bench fuzz
 
 # The full gate: what CI (and a pre-commit) should run.
-check: vet build test
+check: vet build test racepar
 
 vet:
 	$(GO) vet ./...
@@ -19,6 +19,22 @@ test:
 # invariant for free. Slower; -short skips the long figure sweeps.
 race:
 	$(GO) test -race -short ./...
+
+# The parallel-harness determinism gate on its own: the quick figure
+# suite rendered serially and with an 8-worker pool must be
+# byte-identical, and -race must see no shared mutable state between
+# concurrent core.Run/pentium.Run jobs. Also part of `check`.
+racepar:
+	$(GO) test -race -short -run TestParallelDeterminism ./internal/bench
+
+# Perf trajectory: the microbenchmarks in bench_test.go plus the
+# end-to-end figure-suite timing, and a machine-readable snapshot of
+# the same numbers in BENCH_sim.json via cmd/simbench.
+bench:
+	$(GO) test -run - -bench . -benchmem .
+	$(GO) test -run - -bench 'BenchmarkEventDispatch|BenchmarkAdvanceRecvRoundTrip' -benchmem ./internal/sim
+	$(GO) test -run - -bench BenchmarkInnerLoop -benchmem ./internal/rawexec
+	$(GO) run ./cmd/simbench -o BENCH_sim.json
 
 fuzz:
 	$(GO) test ./internal/x86 -fuzz FuzzDecode -fuzztime 30s

@@ -232,3 +232,32 @@ func BenchmarkHeadlineSlowdownBand(b *testing.B) {
 		}
 	}
 }
+
+// --- End-to-end figure-suite timing ---
+//
+// These measure the wall-clock cost of regenerating Figures 4-10 plus
+// the headline over the quick subset, serial vs the RunParallel worker
+// pool — the perf-trajectory numbers recorded in BENCH_sim.json.
+
+func runFigureSuite(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		s := quickSuite()
+		s.Workers = workers
+		figs := []func() (*bench.Figure, error){
+			s.Figure4, s.Figure5, s.Figure6, s.Figure7,
+			s.Figure8, s.Figure9, s.Figure10,
+		}
+		for _, f := range figs {
+			if _, err := f(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := s.Headline(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigureSuiteSerial(b *testing.B) { runFigureSuite(b, 1) }
+
+func BenchmarkFigureSuiteParallel(b *testing.B) { runFigureSuite(b, 8) }

@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"tilevm/internal/bench"
 )
@@ -28,11 +30,42 @@ func main() {
 		multivm  = flag.Bool("multivm", false, "also run the §5 two-VM fabric-sharing experiment")
 		faultsw  = flag.Bool("faultsweep", false, "also run the graceful-degradation fault sweep")
 		asJSON   = flag.Bool("json", false, "emit figures as JSON instead of text tables")
+		workers  = flag.Int("j", runtime.NumCPU(), "worker pool width for independent simulations (1 = serial)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+			}
+		}()
+	}
+
 	s := bench.NewSuite()
 	s.Quick = *quick
+	s.Workers = *workers
 	if *progress {
 		s.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}

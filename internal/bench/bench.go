@@ -25,6 +25,9 @@ type Suite struct {
 	runs     map[string]*core.Result
 	// Quick subsamples the benchmark list (for smoke tests).
 	Quick bool
+	// Workers is the worker-pool width for RunParallel prefetches;
+	// values <= 1 keep every run on the serial path.
+	Workers int
 	// Progress, if set, receives one line per fresh run.
 	Progress func(string)
 }
@@ -176,6 +179,15 @@ func shortName(full string) string {
 // one value per (config, benchmark).
 func (s *Suite) sweep(configs []namedConfig, metric func(*core.Result, *pentium.Result) float64) ([]Series, error) {
 	benches := s.Benchmarks()
+	jobs := make([]RunJob, 0, len(configs)*len(benches))
+	for _, nc := range configs {
+		for _, bench := range benches {
+			jobs = append(jobs, RunJob{Bench: bench, CfgID: nc.label, Cfg: nc.cfg})
+		}
+	}
+	if err := s.RunParallel(jobs); err != nil {
+		return nil, err
+	}
 	out := make([]Series, len(configs))
 	for ci, nc := range configs {
 		out[ci].Label = nc.label

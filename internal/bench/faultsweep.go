@@ -47,6 +47,15 @@ func (s *Suite) FaultSweep() (*Figure, error) {
 	}
 
 	benches := s.Benchmarks()
+	jobs := make([]RunJob, 0, len(benches)*len(rows))
+	for _, bench := range benches {
+		for ci := range rows {
+			jobs = append(jobs, RunJob{Bench: bench, CfgID: rows[ci].id, Cfg: rows[ci].cfg})
+		}
+	}
+	if err := s.RunParallel(jobs); err != nil {
+		return nil, err
+	}
 	series := make([]Series, len(rows))
 	for ci := range rows {
 		series[ci] = Series{Label: rows[ci].label, Values: make([]float64, len(benches))}

@@ -188,6 +188,13 @@ func (s *Suite) Figure10() (*Figure, error) {
 // SpecInt under the default configuration.
 func (s *Suite) Headline() (string, error) {
 	cfg := base()
+	jobs := make([]RunJob, 0, len(s.Benchmarks()))
+	for _, bench := range s.Benchmarks() {
+		jobs = append(jobs, RunJob{Bench: bench, CfgID: "default", Cfg: cfg})
+	}
+	if err := s.RunParallel(jobs); err != nil {
+		return "", err
+	}
 	lo, hi := 0.0, 0.0
 	var loName, hiName string
 	for _, bench := range s.Benchmarks() {

@@ -75,6 +75,10 @@ type InsertStats struct {
 	CopiedWords int
 	Patches     int
 	Flushed     bool
+	// Patched lists the arena indices rewritten in place by chaining
+	// (CHAIN→J), so callers mirroring the arena (a rawexec.Program)
+	// can re-predecode exactly those sites instead of rescanning.
+	Patched []int
 }
 
 // Insert copies a translated block into the arena (flushing first if it
@@ -109,6 +113,7 @@ func (l *L1) Insert(pc uint32, code []rawisa.Inst) (int, InsertStats) {
 				l.arena[i] = rawisa.Inst{Op: rawisa.J, Target: uint32(tidx)}
 				l.Chains++
 				st.Patches++
+				st.Patched = append(st.Patched, i)
 			} else {
 				l.pending[target] = append(l.pending[target], i)
 			}
@@ -120,6 +125,7 @@ func (l *L1) Insert(pc uint32, code []rawisa.Inst) (int, InsertStats) {
 			l.arena[i] = rawisa.Inst{Op: rawisa.J, Target: uint32(idx)}
 			l.Chains++
 			st.Patches++
+			st.Patched = append(st.Patched, i)
 		}
 		delete(l.pending, pc)
 	}

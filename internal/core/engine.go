@@ -36,6 +36,7 @@ type engine struct {
 	execErr    error
 	stopCycles uint64
 	mgr        *managerState
+	pool       msgPool
 	// onExit, when set, replaces the default Stop() at guest exit
 	// (multi-VM coordination).
 	onExit func(*raw.TileCtx)

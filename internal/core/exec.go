@@ -26,6 +26,11 @@ func (e *engine) execKernel(c *raw.TileCtx) {
 	}
 	cpu := &rawexec.CPU{}
 	cpu.LoadGuest(&e.proc.CPU)
+	// prog mirrors the L1 arena in predecoded form so block dispatch
+	// does not re-decode host instructions every visit. progFlushes
+	// tracks l1.Flushes to catch both insert-time and SMC flushes.
+	prog := &rawexec.Program{}
+	progFlushes := l1.Flushes
 	pc := e.proc.PC
 	traceLimit := e.cfg.TraceLimit
 	if traceLimit == 0 {
@@ -37,6 +42,7 @@ func (e *engine) execKernel(c *raw.TileCtx) {
 		e.stats.BlockDispatches++
 		c.Tick(P.DispatchOcc + P.L1LookupOcc)
 		source := "L1"
+		var patched []int
 		idx, ok := l1.Lookup(pc)
 		if !ok {
 			source = "L1.5/L2"
@@ -49,6 +55,7 @@ func (e *engine) execKernel(c *raw.TileCtx) {
 			idx, st = l1.Insert(pc, res.Code)
 			c.Tick(uint64(st.CopiedWords)*P.L1CopyWordOcc +
 				uint64(st.Patches)*P.L1ChainPatchOcc)
+			patched = st.Patched
 		}
 		if e.cfg.Trace != nil && traced < traceLimit {
 			fmt.Fprintf(e.cfg.Trace, "%12d dispatch pc=%08x from=%s\n", c.Now(), pc, source)
@@ -57,7 +64,13 @@ func (e *engine) execKernel(c *raw.TileCtx) {
 				fmt.Fprintf(e.cfg.Trace, "... trace limit reached\n")
 			}
 		}
-		exit, err := rawexec.Exec(cpu, l1.Arena(), idx, tileClock{c}, env, 0)
+		if l1.Flushes != progFlushes {
+			prog.Reset()
+			progFlushes = l1.Flushes
+		}
+		prog.Repatch(l1.Arena(), patched)
+		prog.Sync(l1.Arena())
+		exit, err := prog.Exec(cpu, idx, tileClock{c}, env, 0)
 		e.stats.HostInsts += exit.Insts
 		if err != nil {
 			e.execErr = fmt.Errorf("at guest block %#x: %w", pc, err)
@@ -297,7 +310,9 @@ func (v *execEnv) touch(addr uint32, write bool) bool {
 	}
 	if res.Writeback {
 		// Posted writeback of the dirty victim; no reply needed.
-		v.c.Send(v.e.pl.mmu, memReq{Addr: res.WritebackOf, Write: true, ReplyTo: -1}, wordsMemReq+8)
+		wb := v.e.pool.newReq()
+		*wb = memReq{Addr: res.WritebackOf, Write: true, ReplyTo: -1}
+		v.c.Send(v.e.pl.mmu, wb, wordsMemReq+8)
 	}
 	// Line fill round trip. Reads are idempotent, so in robust mode a
 	// retry carries a fresh ID and any late reply to an earlier attempt
@@ -310,17 +325,29 @@ func (v *execEnv) touch(addr uint32, write bool) bool {
 				v.memID++
 				id = v.memID
 			}
-			v.c.Send(v.e.pl.mmu, memReq{Addr: res.LineAddr, Write: false, ReplyTo: v.e.pl.exec, ID: id}, wordsMemReq)
+			rq := v.e.pool.newReq()
+			*rq = memReq{Addr: res.LineAddr, Write: false, ReplyTo: v.e.pl.exec, ID: id}
+			v.c.Send(v.e.pl.mmu, rq, wordsMemReq)
 		}, func(payload any) (any, bool) {
-			r, ok := payload.(memResp)
-			return nil, ok && r.ID == id
+			r, ok := payload.(*memResp)
+			if !ok {
+				return nil, false
+			}
+			// Consumed whether it matches or not: a stale reply to a
+			// superseded attempt dies here.
+			match := r.ID == id
+			v.e.pool.freeResp(r)
+			return nil, match
 		})
 		return false
 	}
-	v.c.Send(v.e.pl.mmu, memReq{Addr: res.LineAddr, Write: false, ReplyTo: v.e.pl.exec, ID: id}, wordsMemReq)
+	rq := v.e.pool.newReq()
+	*rq = memReq{Addr: res.LineAddr, Write: false, ReplyTo: v.e.pl.exec, ID: id}
+	v.c.Send(v.e.pl.mmu, rq, wordsMemReq)
 	for {
 		msg := v.c.Recv()
-		if r, ok := msg.Payload.(memResp); ok && r.ID == id {
+		if r, ok := msg.Payload.(*memResp); ok && r.ID == id {
+			v.e.pool.freeResp(r)
 			return false
 		}
 	}

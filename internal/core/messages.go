@@ -90,6 +90,9 @@ type helpReq struct{}
 // memReq is a guest data-memory request from the execution tile to the
 // MMU tile. Write requests are posted (no reply needed functionally)
 // but the execution tile still waits for acknowledgment on line fills.
+// memReq/memFwd/memResp are sent as pointers and recycled through the
+// engine's msgPool (they dominate message volume); the consuming
+// kernel frees them.
 type memReq struct {
 	Addr    uint32
 	Write   bool

@@ -1,0 +1,53 @@
+package core
+
+// msgPool recycles the high-rate memory-path messages (memReq, memFwd,
+// memResp) so a guest cache miss does not allocate three payloads per
+// round trip. The messages are sent as pointers; the consuming kernel
+// returns each one after its type switch. No locking is needed: the
+// simulator runs exactly one tile kernel at a time, and every handoff
+// between kernels is a happens-before edge.
+//
+// A message that never reaches its consumer — dropped or corrupt-
+// wrapped by fault injection, or a stale reply discarded by an ID
+// mismatch — simply falls to the garbage collector; the pool only
+// loses a reuse opportunity, never correctness. sysReq/sysResp are
+// deliberately NOT pooled: the robust syscall tile caches responses
+// for at-most-once replay, so their lifetime outlives delivery.
+type msgPool struct {
+	reqs  []*memReq
+	fwds  []*memFwd
+	resps []*memResp
+}
+
+func (p *msgPool) newReq() *memReq {
+	if n := len(p.reqs); n > 0 {
+		m := p.reqs[n-1]
+		p.reqs = p.reqs[:n-1]
+		return m
+	}
+	return &memReq{}
+}
+
+func (p *msgPool) freeReq(m *memReq) { p.reqs = append(p.reqs, m) }
+
+func (p *msgPool) newFwd() *memFwd {
+	if n := len(p.fwds); n > 0 {
+		m := p.fwds[n-1]
+		p.fwds = p.fwds[:n-1]
+		return m
+	}
+	return &memFwd{}
+}
+
+func (p *msgPool) freeFwd(m *memFwd) { p.fwds = append(p.fwds, m) }
+
+func (p *msgPool) newResp() *memResp {
+	if n := len(p.resps); n > 0 {
+		m := p.resps[n-1]
+		p.resps = p.resps[:n-1]
+		return m
+	}
+	return &memResp{}
+}
+
+func (p *msgPool) freeResp(m *memResp) { p.resps = append(p.resps, m) }

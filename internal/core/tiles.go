@@ -67,7 +67,7 @@ func (e *engine) workerBody(initial roleKind) func(*raw.TileCtx) {
 					c.Send(e.pl.manager, workReq{}, wordsCtl)
 				}
 
-			case memFwd:
+			case *memFwd:
 				c.Tick(P.BankLookupOcc)
 				e.stats.L2DRequests++
 				miss, wb := bank.Access(m.PAddr, m.Write)
@@ -84,8 +84,11 @@ func (e *engine) workerBody(initial roleKind) func(*raw.TileCtx) {
 					c.Tick(P.BankLineFill)
 				}
 				if m.ReplyTo >= 0 {
-					c.Send(m.ReplyTo, memResp{ID: m.ID}, wordsMemResp)
+					r := e.pool.newResp()
+					r.ID = m.ID
+					c.Send(m.ReplyTo, r, wordsMemResp)
 				}
+				e.pool.freeFwd(m)
 			}
 		}
 	}
@@ -150,7 +153,7 @@ func (e *engine) mmuKernel(c *raw.TileCtx) {
 	for {
 		msg := c.Recv()
 		switch req := msg.Payload.(type) {
-		case memReq:
+		case *memReq:
 			c.Tick(P.MMULookupOcc)
 			paddr, miss := m.Translate(req.Addr)
 			if miss {
@@ -159,7 +162,10 @@ func (e *engine) mmuKernel(c *raw.TileCtx) {
 			}
 			b := banks[dcache.BankFor(paddr, P.L2DLine, len(banks))]
 			local := dcache.LocalAddr(paddr, P.L2DLine, len(banks))
-			c.Send(b, memFwd{PAddr: local, Write: req.Write, ReplyTo: req.ReplyTo, ID: req.ID}, wordsMemReq)
+			f := e.pool.newFwd()
+			*f = memFwd{PAddr: local, Write: req.Write, ReplyTo: req.ReplyTo, ID: req.ID}
+			c.Send(b, f, wordsMemReq)
+			e.pool.freeReq(req)
 		case rebank:
 			banks = append(banks[:0], req.Banks...)
 			if req.Gen > 0 {

@@ -1,0 +1,77 @@
+package rawexec
+
+import (
+	"testing"
+
+	"tilevm/internal/rawisa"
+)
+
+// nopEnv is an Env for pure ALU/branch benchmarks; none of its methods
+// are reached by the benchmarked code.
+type nopEnv struct{}
+
+func (nopEnv) GuestLoad(addr uint32, size uint8, signed bool) (uint32, uint64) { return 0, 0 }
+func (nopEnv) GuestStore(addr uint32, val uint32, size uint8)                  {}
+func (nopEnv) Syscall(cpu *CPU)                                                {}
+func (nopEnv) Assist(guestPC uint32, cpu *CPU) error                           { return nil }
+func (nopEnv) Stopped() bool                                                   { return false }
+func (nopEnv) Interrupted() bool                                               { return false }
+
+// countdownLoop is the canonical two-instruction inner loop: decrement
+// r1, branch back while nonzero.
+var countdownLoop = []rawisa.Inst{
+	{Op: rawisa.ADDI, Rd: 1, Rs: 1, Imm: -1},
+	{Op: rawisa.BNE, Rs: 1, Rt: 0, Imm: -2},
+	{Op: rawisa.EXITI, Target: 0xdead},
+}
+
+// BenchmarkInnerLoop measures the predecoded dispatch path on the
+// countdown loop: the whole benchmark is one Exec call retiring 2·N
+// host instructions.
+func BenchmarkInnerLoop(b *testing.B) {
+	var p Program
+	p.Sync(countdownLoop)
+	cpu := &CPU{}
+	cpu.R[1] = uint32(b.N)
+	clk := &CountClock{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	exit, err := p.Exec(cpu, 0, clk, nopEnv{}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if exit.NextPC != 0xdead {
+		b.Fatalf("exit pc %#x", exit.NextPC)
+	}
+}
+
+// TestProgramRepatchMatchesFullPredecode pins the incremental-update
+// contract: Sync over a patched arena plus Repatch of the patched
+// indices must equal predecoding the arena from scratch.
+func TestProgramRepatchMatchesFullPredecode(t *testing.T) {
+	arena := []rawisa.Inst{
+		{Op: rawisa.ADDI, Rd: 1, Rs: 1, Imm: 7},
+		{Op: rawisa.CHAIN, Target: 0x2000},
+		{Op: rawisa.NOP},
+	}
+	var p Program
+	p.Sync(arena)
+
+	// The code cache patches the chain site in place and grows the
+	// arena with the target block.
+	arena[1] = rawisa.Inst{Op: rawisa.J, Target: 3}
+	arena = append(arena, rawisa.Inst{Op: rawisa.EXITI, Target: 0x2000})
+	p.Repatch(arena, []int{1})
+	p.Sync(arena)
+
+	var fresh Program
+	fresh.Sync(arena)
+	if len(p.ops) != len(fresh.ops) {
+		t.Fatalf("length %d, want %d", len(p.ops), len(fresh.ops))
+	}
+	for i := range p.ops {
+		if p.ops[i] != fresh.ops[i] {
+			t.Fatalf("op %d: incremental %+v, fresh %+v", i, p.ops[i], fresh.ops[i])
+		}
+	}
+}

@@ -117,206 +117,14 @@ const BranchPenalty = 2
 // Exec runs host code within arena starting at index start until an
 // exit instruction. maxInsts bounds execution (0 = unbounded) for
 // tests; inside the machine the simulator's time limit is the watchdog.
+//
+// Exec predecodes the whole arena on every call; callers that dispatch
+// repeatedly into a growing arena (the execution tile's block loop)
+// should hold a Program and use Sync/Repatch/Program.Exec instead.
 func Exec(cpu *CPU, arena []rawisa.Inst, start int, clk Clock, env Env, maxInsts uint64) (Exit, error) {
-	pcIdx := start
-	var insts uint64
-
-	use := func(r uint8) uint32 {
-		if t := cpu.ready[r]; t > clk.Now() {
-			clk.Tick(t - clk.Now())
-		}
-		return cpu.R[r]
-	}
-	def := func(r uint8, v uint32) {
-		if r != 0 {
-			cpu.R[r] = v
-			cpu.ready[r] = 0
-		}
-	}
-	defAt := func(r uint8, v uint32, ready uint64) {
-		if r != 0 {
-			cpu.R[r] = v
-			cpu.ready[r] = ready
-		}
-	}
-
-	for {
-		if pcIdx < 0 || pcIdx >= len(arena) {
-			return Exit{}, &Fault{Index: pcIdx, Reason: "execution ran outside code arena"}
-		}
-		if maxInsts != 0 && insts >= maxInsts {
-			return Exit{}, &Fault{Index: pcIdx, Reason: "instruction budget exhausted"}
-		}
-		in := arena[pcIdx]
-		insts++
-		clk.Tick(1)
-		next := pcIdx + 1
-
-		switch in.Op {
-		case rawisa.NOP:
-		case rawisa.LUI:
-			def(in.Rd, uint32(in.Imm)<<16)
-		case rawisa.ADDI:
-			def(in.Rd, use(in.Rs)+uint32(in.Imm))
-		case rawisa.ANDI:
-			def(in.Rd, use(in.Rs)&uint32(uint16(in.Imm)))
-		case rawisa.ORI:
-			def(in.Rd, use(in.Rs)|uint32(uint16(in.Imm)))
-		case rawisa.XORI:
-			def(in.Rd, use(in.Rs)^uint32(uint16(in.Imm)))
-		case rawisa.SLTI:
-			def(in.Rd, b2u(int32(use(in.Rs)) < in.Imm))
-		case rawisa.SLTIU:
-			def(in.Rd, b2u(use(in.Rs) < uint32(in.Imm)))
-		case rawisa.SLLI:
-			def(in.Rd, use(in.Rs)<<uint(in.Imm&31))
-		case rawisa.SRLI:
-			def(in.Rd, use(in.Rs)>>uint(in.Imm&31))
-		case rawisa.SRAI:
-			def(in.Rd, uint32(int32(use(in.Rs))>>uint(in.Imm&31)))
-
-		case rawisa.ADD:
-			def(in.Rd, use(in.Rs)+use(in.Rt))
-		case rawisa.SUB:
-			def(in.Rd, use(in.Rs)-use(in.Rt))
-		case rawisa.AND:
-			def(in.Rd, use(in.Rs)&use(in.Rt))
-		case rawisa.OR:
-			def(in.Rd, use(in.Rs)|use(in.Rt))
-		case rawisa.XOR:
-			def(in.Rd, use(in.Rs)^use(in.Rt))
-		case rawisa.NOR:
-			def(in.Rd, ^(use(in.Rs) | use(in.Rt)))
-		case rawisa.SLT:
-			def(in.Rd, b2u(int32(use(in.Rs)) < int32(use(in.Rt))))
-		case rawisa.SLTU:
-			def(in.Rd, b2u(use(in.Rs) < use(in.Rt)))
-		case rawisa.SLL:
-			def(in.Rd, use(in.Rt)<<(use(in.Rs)&31))
-		case rawisa.SRL:
-			def(in.Rd, use(in.Rt)>>(use(in.Rs)&31))
-		case rawisa.SRA:
-			def(in.Rd, uint32(int32(use(in.Rt))>>(use(in.Rs)&31)))
-
-		case rawisa.MULT:
-			wide := int64(int32(use(in.Rs))) * int64(int32(use(in.Rt)))
-			cpu.LO, cpu.HI = uint32(wide), uint32(uint64(wide)>>32)
-			cpu.readyMD = clk.Now() + MulLatency
-		case rawisa.MULTU:
-			wide := uint64(use(in.Rs)) * uint64(use(in.Rt))
-			cpu.LO, cpu.HI = uint32(wide), uint32(wide>>32)
-			cpu.readyMD = clk.Now() + MulLatency
-		case rawisa.DIV:
-			d := int32(use(in.Rt))
-			n := int32(use(in.Rs))
-			if d == 0 {
-				return Exit{}, &Fault{Index: pcIdx, Reason: "integer divide by zero"}
-			}
-			if n == -1<<31 && d == -1 {
-				cpu.LO, cpu.HI = uint32(n), 0
-			} else {
-				cpu.LO, cpu.HI = uint32(n/d), uint32(n%d)
-			}
-			cpu.readyMD = clk.Now() + MulLatency
-		case rawisa.DIVU:
-			d := use(in.Rt)
-			if d == 0 {
-				return Exit{}, &Fault{Index: pcIdx, Reason: "integer divide by zero"}
-			}
-			n := use(in.Rs)
-			cpu.LO, cpu.HI = n/d, n%d
-			cpu.readyMD = clk.Now() + MulLatency
-		case rawisa.MFHI:
-			defAt(in.Rd, cpu.HI, cpu.readyMD)
-		case rawisa.MFLO:
-			defAt(in.Rd, cpu.LO, cpu.readyMD)
-
-		case rawisa.LW:
-			addr := (use(in.Rs) + uint32(in.Imm)) / 4 % scratchWords
-			defAt(in.Rd, cpu.Scratch[addr], clk.Now()+2)
-		case rawisa.SW:
-			addr := (use(in.Rs) + uint32(in.Imm)) / 4 % scratchWords
-			cpu.Scratch[addr] = use(in.Rt)
-
-		case rawisa.BEQ:
-			if use(in.Rs) == use(in.Rt) {
-				next = pcIdx + 1 + int(in.Imm)
-				clk.Tick(BranchPenalty)
-			}
-		case rawisa.BNE:
-			if use(in.Rs) != use(in.Rt) {
-				next = pcIdx + 1 + int(in.Imm)
-				clk.Tick(BranchPenalty)
-			}
-		case rawisa.BLEZ:
-			if int32(use(in.Rs)) <= 0 {
-				next = pcIdx + 1 + int(in.Imm)
-				clk.Tick(BranchPenalty)
-			}
-		case rawisa.BGTZ:
-			if int32(use(in.Rs)) > 0 {
-				next = pcIdx + 1 + int(in.Imm)
-				clk.Tick(BranchPenalty)
-			}
-		case rawisa.BLTZ:
-			if int32(use(in.Rs)) < 0 {
-				next = pcIdx + 1 + int(in.Imm)
-				clk.Tick(BranchPenalty)
-			}
-		case rawisa.BGEZ:
-			if int32(use(in.Rs)) >= 0 {
-				next = pcIdx + 1 + int(in.Imm)
-				clk.Tick(BranchPenalty)
-			}
-		case rawisa.J:
-			if env.Interrupted() {
-				// Do not follow the chain: the target block may have
-				// been invalidated. Hand the entry index back to the
-				// dispatch loop for resolution.
-				return Exit{Interrupted: true, ChainIdx: int(in.Target), Insts: insts}, nil
-			}
-			next = int(in.Target)
-			clk.Tick(BranchPenalty)
-		case rawisa.JAL:
-			def(rawisa.RegLink, uint32(pcIdx+1))
-			next = int(in.Target)
-			clk.Tick(BranchPenalty)
-		case rawisa.JR:
-			next = int(use(in.Rs))
-			clk.Tick(BranchPenalty)
-
-		case rawisa.GLB, rawisa.GLBU, rawisa.GLH, rawisa.GLHU, rawisa.GLW:
-			addr := use(in.Rs)
-			size := uint8(in.Op.GuestAccessBytes())
-			signed := in.Op == rawisa.GLB || in.Op == rawisa.GLH
-			v, readyAt := env.GuestLoad(addr, size, signed)
-			defAt(in.Rd, v, readyAt)
-		case rawisa.GSB, rawisa.GSH, rawisa.GSW:
-			addr := use(in.Rs)
-			v := use(in.Rt)
-			env.GuestStore(addr, v, uint8(in.Op.GuestAccessBytes()))
-
-		case rawisa.SYSC:
-			env.Syscall(cpu)
-			if env.Stopped() {
-				return Exit{NextPC: 0, Insts: insts}, nil
-			}
-
-		case rawisa.ASSIST:
-			if err := env.Assist(in.Target, cpu); err != nil {
-				return Exit{}, &Fault{Index: pcIdx, Reason: err.Error()}
-			}
-
-		case rawisa.EXITI, rawisa.CHAIN:
-			return Exit{NextPC: in.Target, Insts: insts}, nil
-		case rawisa.EXITR:
-			return Exit{NextPC: use(in.Rs), Insts: insts}, nil
-
-		default:
-			return Exit{}, &Fault{Index: pcIdx, Reason: fmt.Sprintf("bad opcode %v", in.Op)}
-		}
-		pcIdx = next
-	}
+	var p Program
+	p.Sync(arena)
+	return p.Exec(cpu, start, clk, env, maxInsts)
 }
 
 func b2u(b bool) uint32 {

@@ -1,0 +1,316 @@
+package rawexec
+
+import (
+	"fmt"
+
+	"tilevm/internal/rawisa"
+)
+
+// uop is one predecoded host instruction: operands unpacked, immediates
+// pre-extended, branch targets resolved to absolute arena indices, and
+// guest-access width/signedness precomputed, so the dispatch loop does
+// no per-visit re-derivation.
+type uop struct {
+	op     rawisa.Op
+	rd     uint8
+	rs     uint8
+	rt     uint8
+	sz     uint8 // guest access bytes for GL*/GS*
+	sgn    bool  // signed guest load
+	imm    uint32
+	target int32 // absolute arena index for branches and direct jumps
+}
+
+// Program is the predecoded form of an L1-arena code block sequence.
+// The arena only grows between flushes, so Sync predecodes just the new
+// tail; Repatch re-predecodes chain sites the code cache patched in
+// place. A Program belongs to one arena: Reset it when the arena is
+// flushed.
+type Program struct {
+	ops []uop
+}
+
+// Len returns the number of predecoded instructions.
+func (p *Program) Len() int { return len(p.ops) }
+
+// Reset empties the program (the arena was flushed). The backing store
+// is kept for reuse.
+func (p *Program) Reset() { p.ops = p.ops[:0] }
+
+// Sync extends the program to cover arena, predecoding only
+// arena[p.Len():]. The prefix must be unchanged except through Repatch.
+func (p *Program) Sync(arena []rawisa.Inst) {
+	for i := len(p.ops); i < len(arena); i++ {
+		p.ops = append(p.ops, predecode(arena[i], i))
+	}
+}
+
+// Repatch re-predecodes the given arena indices (chain sites patched
+// from CHAIN to J by the code cache).
+func (p *Program) Repatch(arena []rawisa.Inst, indices []int) {
+	for _, i := range indices {
+		if i < len(p.ops) {
+			p.ops[i] = predecode(arena[i], i)
+		}
+	}
+}
+
+func predecode(in rawisa.Inst, i int) uop {
+	u := uop{op: in.Op, rd: in.Rd, rs: in.Rs, rt: in.Rt, imm: uint32(in.Imm), target: int32(in.Target)}
+	switch in.Op {
+	case rawisa.LUI:
+		u.imm = uint32(in.Imm) << 16
+	case rawisa.ANDI, rawisa.ORI, rawisa.XORI:
+		u.imm = uint32(uint16(in.Imm))
+	case rawisa.SLLI, rawisa.SRLI, rawisa.SRAI:
+		u.imm = uint32(in.Imm & 31)
+	case rawisa.BEQ, rawisa.BNE, rawisa.BLEZ, rawisa.BGTZ, rawisa.BLTZ, rawisa.BGEZ:
+		u.target = int32(i + 1 + int(in.Imm))
+	case rawisa.GLB, rawisa.GLBU, rawisa.GLH, rawisa.GLHU, rawisa.GLW:
+		u.sz = uint8(in.Op.GuestAccessBytes())
+		u.sgn = in.Op == rawisa.GLB || in.Op == rawisa.GLH
+	case rawisa.GSB, rawisa.GSH, rawisa.GSW:
+		u.sz = uint8(in.Op.GuestAccessBytes())
+	}
+	return u
+}
+
+// Exec runs predecoded host code starting at index start until an exit
+// instruction, exactly as the arena-walking Exec but without per-visit
+// decode work. Virtual time is accumulated in a local counter and
+// flushed to the Clock only at Env calls and block exits, so the
+// per-instruction cost is plain integer arithmetic instead of interface
+// method dispatch; the flushed totals (and therefore all timing) are
+// bit-identical to the unbatched path.
+func (p *Program) Exec(cpu *CPU, start int, clk Clock, env Env, maxInsts uint64) (Exit, error) {
+	pcIdx := start
+	var insts uint64
+	ops := p.ops
+
+	// now is the tile's local virtual time; reported is the prefix
+	// already pushed to clk. flush() syncs before any external effect.
+	now := clk.Now()
+	reported := now
+	flush := func() {
+		if now > reported {
+			clk.Tick(now - reported)
+			reported = now
+		}
+	}
+	resync := func() {
+		now = clk.Now()
+		reported = now
+	}
+
+	use := func(r uint8) uint32 {
+		if t := cpu.ready[r]; t > now {
+			now = t
+		}
+		return cpu.R[r]
+	}
+	def := func(r uint8, v uint32) {
+		if r != 0 {
+			cpu.R[r] = v
+			cpu.ready[r] = 0
+		}
+	}
+	defAt := func(r uint8, v uint32, ready uint64) {
+		if r != 0 {
+			cpu.R[r] = v
+			cpu.ready[r] = ready
+		}
+	}
+
+	for {
+		if pcIdx < 0 || pcIdx >= len(ops) {
+			flush()
+			return Exit{}, &Fault{Index: pcIdx, Reason: "execution ran outside code arena"}
+		}
+		if maxInsts != 0 && insts >= maxInsts {
+			flush()
+			return Exit{}, &Fault{Index: pcIdx, Reason: "instruction budget exhausted"}
+		}
+		in := &ops[pcIdx]
+		insts++
+		now++
+		next := pcIdx + 1
+
+		switch in.op {
+		case rawisa.NOP:
+		case rawisa.LUI:
+			def(in.rd, in.imm)
+		case rawisa.ADDI:
+			def(in.rd, use(in.rs)+in.imm)
+		case rawisa.ANDI:
+			def(in.rd, use(in.rs)&in.imm)
+		case rawisa.ORI:
+			def(in.rd, use(in.rs)|in.imm)
+		case rawisa.XORI:
+			def(in.rd, use(in.rs)^in.imm)
+		case rawisa.SLTI:
+			def(in.rd, b2u(int32(use(in.rs)) < int32(in.imm)))
+		case rawisa.SLTIU:
+			def(in.rd, b2u(use(in.rs) < in.imm))
+		case rawisa.SLLI:
+			def(in.rd, use(in.rs)<<in.imm)
+		case rawisa.SRLI:
+			def(in.rd, use(in.rs)>>in.imm)
+		case rawisa.SRAI:
+			def(in.rd, uint32(int32(use(in.rs))>>in.imm))
+
+		case rawisa.ADD:
+			def(in.rd, use(in.rs)+use(in.rt))
+		case rawisa.SUB:
+			def(in.rd, use(in.rs)-use(in.rt))
+		case rawisa.AND:
+			def(in.rd, use(in.rs)&use(in.rt))
+		case rawisa.OR:
+			def(in.rd, use(in.rs)|use(in.rt))
+		case rawisa.XOR:
+			def(in.rd, use(in.rs)^use(in.rt))
+		case rawisa.NOR:
+			def(in.rd, ^(use(in.rs) | use(in.rt)))
+		case rawisa.SLT:
+			def(in.rd, b2u(int32(use(in.rs)) < int32(use(in.rt))))
+		case rawisa.SLTU:
+			def(in.rd, b2u(use(in.rs) < use(in.rt)))
+		case rawisa.SLL:
+			def(in.rd, use(in.rt)<<(use(in.rs)&31))
+		case rawisa.SRL:
+			def(in.rd, use(in.rt)>>(use(in.rs)&31))
+		case rawisa.SRA:
+			def(in.rd, uint32(int32(use(in.rt))>>(use(in.rs)&31)))
+
+		case rawisa.MULT:
+			wide := int64(int32(use(in.rs))) * int64(int32(use(in.rt)))
+			cpu.LO, cpu.HI = uint32(wide), uint32(uint64(wide)>>32)
+			cpu.readyMD = now + MulLatency
+		case rawisa.MULTU:
+			wide := uint64(use(in.rs)) * uint64(use(in.rt))
+			cpu.LO, cpu.HI = uint32(wide), uint32(wide>>32)
+			cpu.readyMD = now + MulLatency
+		case rawisa.DIV:
+			d := int32(use(in.rt))
+			n := int32(use(in.rs))
+			if d == 0 {
+				flush()
+				return Exit{}, &Fault{Index: pcIdx, Reason: "integer divide by zero"}
+			}
+			if n == -1<<31 && d == -1 {
+				cpu.LO, cpu.HI = uint32(n), 0
+			} else {
+				cpu.LO, cpu.HI = uint32(n/d), uint32(n%d)
+			}
+			cpu.readyMD = now + MulLatency
+		case rawisa.DIVU:
+			d := use(in.rt)
+			if d == 0 {
+				flush()
+				return Exit{}, &Fault{Index: pcIdx, Reason: "integer divide by zero"}
+			}
+			n := use(in.rs)
+			cpu.LO, cpu.HI = n/d, n%d
+			cpu.readyMD = now + MulLatency
+		case rawisa.MFHI:
+			defAt(in.rd, cpu.HI, cpu.readyMD)
+		case rawisa.MFLO:
+			defAt(in.rd, cpu.LO, cpu.readyMD)
+
+		case rawisa.LW:
+			addr := (use(in.rs) + in.imm) / 4 % scratchWords
+			defAt(in.rd, cpu.Scratch[addr], now+2)
+		case rawisa.SW:
+			addr := (use(in.rs) + in.imm) / 4 % scratchWords
+			cpu.Scratch[addr] = use(in.rt)
+
+		case rawisa.BEQ:
+			if use(in.rs) == use(in.rt) {
+				next = int(in.target)
+				now += BranchPenalty
+			}
+		case rawisa.BNE:
+			if use(in.rs) != use(in.rt) {
+				next = int(in.target)
+				now += BranchPenalty
+			}
+		case rawisa.BLEZ:
+			if int32(use(in.rs)) <= 0 {
+				next = int(in.target)
+				now += BranchPenalty
+			}
+		case rawisa.BGTZ:
+			if int32(use(in.rs)) > 0 {
+				next = int(in.target)
+				now += BranchPenalty
+			}
+		case rawisa.BLTZ:
+			if int32(use(in.rs)) < 0 {
+				next = int(in.target)
+				now += BranchPenalty
+			}
+		case rawisa.BGEZ:
+			if int32(use(in.rs)) >= 0 {
+				next = int(in.target)
+				now += BranchPenalty
+			}
+		case rawisa.J:
+			if env.Interrupted() {
+				// Do not follow the chain: the target block may have
+				// been invalidated. Hand the entry index back to the
+				// dispatch loop for resolution.
+				flush()
+				return Exit{Interrupted: true, ChainIdx: int(in.target), Insts: insts}, nil
+			}
+			next = int(in.target)
+			now += BranchPenalty
+		case rawisa.JAL:
+			def(rawisa.RegLink, uint32(pcIdx+1))
+			next = int(in.target)
+			now += BranchPenalty
+		case rawisa.JR:
+			next = int(use(in.rs))
+			now += BranchPenalty
+
+		case rawisa.GLB, rawisa.GLBU, rawisa.GLH, rawisa.GLHU, rawisa.GLW:
+			addr := use(in.rs)
+			flush()
+			v, readyAt := env.GuestLoad(addr, in.sz, in.sgn)
+			resync()
+			defAt(in.rd, v, readyAt)
+		case rawisa.GSB, rawisa.GSH, rawisa.GSW:
+			addr := use(in.rs)
+			v := use(in.rt)
+			flush()
+			env.GuestStore(addr, v, in.sz)
+			resync()
+
+		case rawisa.SYSC:
+			flush()
+			env.Syscall(cpu)
+			if env.Stopped() {
+				return Exit{NextPC: 0, Insts: insts}, nil
+			}
+			resync()
+
+		case rawisa.ASSIST:
+			flush()
+			if err := env.Assist(uint32(in.target), cpu); err != nil {
+				return Exit{}, &Fault{Index: pcIdx, Reason: err.Error()}
+			}
+			resync()
+
+		case rawisa.EXITI, rawisa.CHAIN:
+			flush()
+			return Exit{NextPC: uint32(in.target), Insts: insts}, nil
+		case rawisa.EXITR:
+			next := use(in.rs)
+			flush()
+			return Exit{NextPC: next, Insts: insts}, nil
+
+		default:
+			flush()
+			return Exit{}, &Fault{Index: pcIdx, Reason: fmt.Sprintf("bad opcode %v", in.op)}
+		}
+		pcIdx = next
+	}
+}

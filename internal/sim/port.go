@@ -1,7 +1,5 @@
 package sim
 
-import "container/heap"
-
 // A Msg is a message in flight or delivered to a Port. Payload is the
 // user value; Arrival is the virtual time at which it becomes visible to
 // the receiver; From identifies the sender (for tile kernels, a tile
@@ -13,18 +11,58 @@ type Msg struct {
 	seq     uint64
 }
 
+// msgHeap is a concrete-typed binary min-heap ordered by (arrival,
+// enqueue order). Hand-rolled sift operations avoid the per-message
+// interface boxing of container/heap on the network send/recv path.
 type msgHeap []Msg
 
-func (h msgHeap) Len() int { return len(h) }
-func (h msgHeap) Less(i, j int) bool {
+func (h msgHeap) less(i, j int) bool {
 	if h[i].Arrival != h[j].Arrival {
 		return h[i].Arrival < h[j].Arrival
 	}
 	return h[i].seq < h[j].seq
 }
-func (h msgHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *msgHeap) Push(x any)   { *h = append(*h, x.(Msg)) }
-func (h *msgHeap) Pop() any     { old := *h; n := len(old); m := old[n-1]; *h = old[:n-1]; return m }
+
+func (h *msgHeap) push(m Msg) {
+	*h = append(*h, m)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *msgHeap) pop() Msg {
+	q := *h
+	m := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = Msg{} // release the payload reference
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		min := l
+		if r := l + 1; r < n && q.less(r, l) {
+			min = r
+		}
+		if !q.less(min, i) {
+			break
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
+	return m
+}
 
 // A Port is an ordered message queue, the endpoint of a simulated
 // network link or hardware FIFO. Messages are delivered in arrival-time
@@ -57,7 +95,7 @@ func (pt *Port) Len() int { return len(pt.q) }
 // back-pressure is modeled by the receiver's service occupancy.
 func (pt *Port) Send(from int, payload any, arrival Time) {
 	pt.seq++
-	heap.Push(&pt.q, Msg{Payload: payload, Arrival: arrival, From: from, seq: pt.seq})
+	pt.q.push(Msg{Payload: payload, Arrival: arrival, From: from, seq: pt.seq})
 	w := pt.waiter
 	if w == nil {
 		return
@@ -83,7 +121,7 @@ func (p *Proc) Recv(pt *Port) Msg {
 	p.Sync()
 	for {
 		if len(pt.q) > 0 && pt.q[0].Arrival <= p.sim.now {
-			return heap.Pop(&pt.q).(Msg)
+			return pt.q.pop()
 		}
 		if pt.waiter != nil && pt.waiter != p {
 			p.abort(&PortConflictError{Port: pt.name, First: pt.waiter.name, Second: p.name})
@@ -106,7 +144,7 @@ func (p *Proc) Recv(pt *Port) Msg {
 func (p *Proc) TryRecv(pt *Port) (Msg, bool) {
 	p.Sync()
 	if len(pt.q) > 0 && pt.q[0].Arrival <= p.sim.now {
-		return heap.Pop(&pt.q).(Msg), true
+		return pt.q.pop(), true
 	}
 	return Msg{}, false
 }
@@ -118,7 +156,7 @@ func (p *Proc) RecvDeadline(pt *Port, deadline Time) (Msg, bool) {
 	p.Sync()
 	for {
 		if len(pt.q) > 0 && pt.q[0].Arrival <= p.sim.now {
-			return heap.Pop(&pt.q).(Msg), true
+			return pt.q.pop(), true
 		}
 		if p.sim.now >= deadline {
 			return Msg{}, false

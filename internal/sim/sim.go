@@ -14,7 +14,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"strings"
 )
@@ -33,21 +32,103 @@ type event struct {
 	wake uint64
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	if h[i].pid != h[j].pid {
-		return h[i].pid < h[j].pid
-	}
-	return h[i].seq < h[j].seq
+// eventHeap is a concrete-typed binary min-heap of events. It replaces
+// container/heap so push and pop move events without boxing them into
+// interface values (the scheduler's hottest path), and it tracks the
+// number of dead (superseded) entries so the heap can be compacted when
+// stale wakeups dominate instead of waiting for them to surface at pop.
+type eventHeap struct {
+	ev   []event
+	dead int // superseded entries still in ev
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// compactMinLen is the heap size below which compaction is not worth
+// the re-heapify cost.
+const compactMinLen = 64
+
+func (h *eventHeap) less(i, j int) bool {
+	a, b := &h.ev[i], &h.ev[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.pid != b.pid {
+		return a.pid < b.pid
+	}
+	return a.seq < b.seq
+}
+
+func (h *eventHeap) push(e event) {
+	h.ev = append(h.ev, e)
+	// Sift up.
+	i := len(h.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.ev[i], h.ev[parent] = h.ev[parent], h.ev[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) siftDown(i int) {
+	n := len(h.ev)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && h.less(r, l) {
+			m = r
+		}
+		if !h.less(m, i) {
+			return
+		}
+		h.ev[i], h.ev[m] = h.ev[m], h.ev[i]
+		i = m
+	}
+}
+
+// pop removes and returns the minimum event. Callers must check
+// len(h.ev) > 0 first.
+func (h *eventHeap) pop() event {
+	e := h.ev[0]
+	n := len(h.ev) - 1
+	h.ev[0] = h.ev[n]
+	h.ev[n] = event{} // drop the *Proc reference
+	h.ev = h.ev[:n]
+	h.siftDown(0)
+	return e
+}
+
+// live reports whether e is still the scheduled wakeup of its process
+// (not superseded by a later schedule, and the process still runnable).
+func (e *event) live() bool {
+	return e.proc.state == parkRunnable && e.wake == e.proc.wakeSeq
+}
+
+// compact removes dead entries in place and re-heapifies. Called when
+// superseded wakeups exceed half the heap, so heap operations stay
+// O(log live) instead of O(log total) and stale entries do not
+// accumulate without bound in supersede-heavy phases.
+func (h *eventHeap) compact() {
+	kept := h.ev[:0]
+	for i := range h.ev {
+		if h.ev[i].live() {
+			kept = append(kept, h.ev[i])
+		}
+	}
+	// Zero the tail so dropped events do not pin their processes.
+	for i := len(kept); i < len(h.ev); i++ {
+		h.ev[i] = event{}
+	}
+	h.ev = kept
+	h.dead = 0
+	for i := len(h.ev)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
 
 // Simulator is a deterministic discrete-event scheduler.
 type Simulator struct {
@@ -188,11 +269,19 @@ func (s *Simulator) Spawn(name string, body func(*Proc)) *Proc {
 // schedule enqueues a wakeup for p at time at, superseding any
 // previously scheduled wakeup.
 func (s *Simulator) schedule(p *Proc, at Time) {
+	if p.state == parkRunnable {
+		// The process already has a wakeup in the heap; bumping wakeSeq
+		// makes that entry dead until popped or compacted.
+		s.events.dead++
+	}
 	s.seq++
 	p.wakeSeq++
 	p.wakeAt = at
-	heap.Push(&s.events, event{at: at, pid: p.id, seq: s.seq, proc: p, wake: p.wakeSeq})
+	s.events.push(event{at: at, pid: p.id, seq: s.seq, proc: p, wake: p.wakeSeq})
 	p.state = parkRunnable
+	if n := len(s.events.ev); n >= compactMinLen && s.events.dead > n/2 {
+		s.events.compact()
+	}
 }
 
 // Run executes the simulation until Stop is called, the time limit is
@@ -229,9 +318,10 @@ func (s *Simulator) Run() error {
 	}
 
 	var err error
-	for len(s.events) > 0 && !s.stopped {
-		ev := heap.Pop(&s.events).(event)
-		if ev.proc.state != parkRunnable || ev.wake != ev.proc.wakeSeq {
+	for len(s.events.ev) > 0 && !s.stopped {
+		ev := s.events.pop()
+		if !ev.live() {
+			s.events.dead--
 			continue // superseded or stale event
 		}
 		if s.limit != 0 && ev.at > s.limit {
@@ -247,7 +337,7 @@ func (s *Simulator) Run() error {
 	if s.abortErr != nil && err == nil {
 		err = s.abortErr
 	}
-	if !s.stopped && len(s.events) == 0 && err == nil {
+	if !s.stopped && len(s.events.ev) == 0 && err == nil {
 		// Quiescence: fine if every proc is done (or a fail-stopped
 		// daemon), deadlock otherwise — reported with a per-process
 		// blocked-port diagnostic instead of hanging or panicking.
