@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race racepar bench fuzz
+.PHONY: check vet build test race racepar bench fuzz fuzz-smoke replay-smoke
 
 # The full gate: what CI (and a pre-commit) should run.
 check: vet build test racepar
@@ -38,3 +38,21 @@ bench:
 
 fuzz:
 	$(GO) test ./internal/x86 -fuzz FuzzDecode -fuzztime 30s
+	$(GO) test ./internal/checkpoint -run - -fuzz FuzzCheckpointDecode -fuzztime 30s
+	$(GO) test ./internal/checkpoint -run - -fuzz FuzzRecordDecode -fuzztime 30s
+
+# Quick fuzz pass for CI: enough to catch a codec regression, short
+# enough to run on every push.
+fuzz-smoke:
+	$(GO) test ./internal/checkpoint -run - -fuzz FuzzCheckpointDecode -fuzztime 10s
+	$(GO) test ./internal/checkpoint -run - -fuzz FuzzRecordDecode -fuzztime 10s
+
+# End-to-end record/replay smoke: record a faulted rollback run, then
+# verify a full replay reproduces it bit for bit (tilevm exits non-zero
+# on divergence).
+replay-smoke:
+	$(GO) run ./cmd/tilevm -workload 181.mcf \
+	  -fault-plan 'fail:7@150000,fail:14@300000,fail:2@450000' \
+	  -recovery rollback -record /tmp/tilevm-replay-smoke.tvrc >/dev/null
+	$(GO) run ./cmd/tilevm -replay /tmp/tilevm-replay-smoke.tvrc
+	rm -f /tmp/tilevm-replay-smoke.tvrc

@@ -17,6 +17,7 @@ import (
 	"runtime/pprof"
 
 	"tilevm/internal/bench"
+	"tilevm/internal/core"
 )
 
 func main() {
@@ -29,12 +30,29 @@ func main() {
 		util     = flag.String("utilization", "", "print per-tile utilization for a benchmark (e.g. 176.gcc)")
 		multivm  = flag.Bool("multivm", false, "also run the §5 two-VM fabric-sharing experiment")
 		faultsw  = flag.Bool("faultsweep", false, "also run the graceful-degradation fault sweep")
+		recovery = flag.String("recovery", "excise", "fault-sweep recovery mode: excise or rollback")
 		asJSON   = flag.Bool("json", false, "emit figures as JSON instead of text tables")
 		workers  = flag.Int("j", runtime.NumCPU(), "worker pool width for independent simulations (1 = serial)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	// Fail fast on a bad invocation — one line, non-zero exit — before
+	// any simulation starts.
+	if *fig != 0 && (*fig < 4 || *fig > 11) {
+		fmt.Fprintf(os.Stderr, "figures: unknown figure %d (want 4-11)\n", *fig)
+		os.Exit(2)
+	}
+	if *workers < 1 {
+		fmt.Fprintf(os.Stderr, "figures: -j %d: want at least one worker\n", *workers)
+		os.Exit(2)
+	}
+	recMode, err := core.ParseRecoveryMode(*recovery)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(2)
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -85,7 +103,6 @@ func main() {
 		{11, func() (fmt.Stringer, error) { return s.Figure11() }},
 	}
 
-	ran := false
 	collected := map[string]any{}
 	for _, j := range jobs {
 		if *fig != 0 && *fig != j.n {
@@ -101,7 +118,6 @@ func main() {
 		} else {
 			fmt.Println(out.String())
 		}
-		ran = true
 	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
@@ -151,7 +167,7 @@ func main() {
 		fmt.Println(out)
 	}
 	if *faultsw {
-		f, err := s.FaultSweep()
+		f, err := s.FaultSweepMode(recMode)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "figures:", err)
 			os.Exit(1)
@@ -165,9 +181,5 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(out)
-	}
-	if !ran && *fig != 0 {
-		fmt.Fprintf(os.Stderr, "figures: unknown figure %d\n", *fig)
-		os.Exit(2)
 	}
 }

@@ -8,6 +8,16 @@
 //	tilevm -image prog.tvmi -slaves 9 -membanks 1
 //	tilevm -workload 181.mcf -morph -threshold 5 -v
 //	tilevm -workload 164.gzip -fault-plan 'fail:7@150000,drop:0.001' -fault-seed 42 -v
+//
+// Faulted runs can recover by rolling back to a periodic checkpoint
+// instead of excising the dead tile in place, and any run can be
+// recorded to a replayable file:
+//
+//	tilevm -workload 181.mcf -fault-plan 'fail:7@150000' -recovery rollback -v
+//	tilevm -workload 181.mcf -fault-plan 'fail:7@150000' -recovery rollback -record run.tvrc
+//	tilevm -replay run.tvrc
+//	tilevm -replay run.tvrc -replay-to-cycle 500000
+//	tilevm -replay-diff run.tvrc
 package main
 
 import (
@@ -19,6 +29,8 @@ import (
 	"strconv"
 	"strings"
 
+	"tilevm/internal/bench"
+	"tilevm/internal/checkpoint"
 	"tilevm/internal/core"
 	"tilevm/internal/fault"
 	"tilevm/internal/guest"
@@ -29,36 +41,71 @@ import (
 
 func main() {
 	var (
-		imagePath = flag.String("image", "", "TVMI guest image to run")
-		wlName    = flag.String("workload", "", "named synthetic workload (e.g. 176.gcc)")
-		slaves    = flag.Int("slaves", 6, "translation slave tiles (1-9)")
-		spec      = flag.Bool("speculate", true, "speculative parallel translation")
-		l15       = flag.Int("l15", 2, "L1.5 code cache banks (0-2)")
-		membanks  = flag.Int("membanks", 4, "L2 data cache bank tiles (1 or 4)")
-		optimize  = flag.Bool("opt", true, "optimize translated blocks")
-		morph     = flag.Bool("morph", false, "dynamic virtual architecture reconfiguration")
-		threshold = flag.Int("threshold", 5, "morphing queue-length threshold")
-		maxCycles = flag.Uint64("maxcycles", 0, "simulation watchdog (0 = default)")
-		faultPlan = flag.String("fault-plan", "", "fault plan, e.g. 'fail:7@150000,drop:0.01,delay:0.02+400,corrupt:0.01,dram:0.05,stall:6@30000+5000'")
-		faultSeed = flag.Uint64("fault-seed", 0, "seed for the fault plan's probabilistic clauses")
-		noRecover = flag.Bool("fault-norecover", false, "disable fault recovery (a fault then deadlocks with a diagnostic)")
-		verbose   = flag.Bool("v", false, "print detailed metrics")
-		dump      = flag.String("dump", "", "disassemble the translation of the block at this guest PC (hex; 'entry' for the entry point) and exit")
-		trace     = flag.Int("trace", 0, "log the first N dispatch-loop iterations to stderr")
-		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		imagePath  = flag.String("image", "", "TVMI or ELF32 guest image to run")
+		wlName     = flag.String("workload", "", "named synthetic workload (e.g. 176.gcc)")
+		slaves     = flag.Int("slaves", 6, "translation slave tiles (1-9)")
+		spec       = flag.Bool("speculate", true, "speculative parallel translation")
+		l15        = flag.Int("l15", 2, "L1.5 code cache banks (0-2)")
+		membanks   = flag.Int("membanks", 4, "L2 data cache bank tiles (1 or 4)")
+		optimize   = flag.Bool("opt", true, "optimize translated blocks")
+		morph      = flag.Bool("morph", false, "dynamic virtual architecture reconfiguration")
+		threshold  = flag.Int("threshold", 5, "morphing queue-length threshold")
+		maxCycles  = flag.Uint64("maxcycles", 0, "simulation watchdog (0 = default)")
+		faultPlan  = flag.String("fault-plan", "", "fault plan, e.g. 'fail:7@150000,drop:0.01,delay:0.02+400,corrupt:0.01,dram:0.05,stall:6@30000+5000'")
+		faultSeed  = flag.Uint64("fault-seed", 0, "seed for the fault plan's probabilistic clauses")
+		noRecover  = flag.Bool("fault-norecover", false, "disable fault recovery (a fault then deadlocks with a diagnostic)")
+		recovery   = flag.String("recovery", "excise", "fail-stop recovery mode: excise (morph around the dead tile in place) or rollback (restore the last checkpoint when excision would lose writebacks)")
+		ckEvery    = flag.Uint64("checkpoint-interval", 0, "cycles between whole-machine checkpoints (0 = default when -recovery rollback, else off)")
+		recordPath = flag.String("record", "", "write a deterministic record of the run to this file")
+		replayPath = flag.String("replay", "", "replay a recorded run and verify it reproduces")
+		replayTo   = flag.Uint64("replay-to-cycle", 0, "halt the replay at this virtual cycle (requires -replay)")
+		diffPath   = flag.String("replay-diff", "", "replay a recorded run and bisect to the first divergent event")
+		verbose    = flag.Bool("v", false, "print detailed metrics")
+		dump       = flag.String("dump", "", "disassemble the translation of the block at this guest PC (hex; 'entry' for the entry point) and exit")
+		trace      = flag.Int("trace", 0, "log the first N dispatch-loop iterations to stderr")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	// Validate every fault / checkpoint / replay flag before touching the
+	// guest or the simulator, so a bad invocation dies with one line and a
+	// non-zero exit instead of a mid-run panic or a silent misconfiguration.
+	recMode, err := core.ParseRecoveryMode(*recovery)
+	if err != nil {
+		die(err)
+	}
+	if *faultPlan != "" {
+		if _, err := fault.ParsePlan(*faultPlan); err != nil {
+			die(err)
+		}
+	} else if *faultSeed != 0 {
+		die(fmt.Errorf("-fault-seed is meaningless without -fault-plan"))
+	}
+	if *noRecover && recMode == core.RecoverRollback {
+		die(fmt.Errorf("-fault-norecover conflicts with -recovery rollback (rollback is a recovery mode)"))
+	}
+	replaying := *replayPath != "" || *diffPath != ""
+	if *replayPath != "" && *diffPath != "" {
+		die(fmt.Errorf("use either -replay or -replay-diff, not both"))
+	}
+	if replaying && *recordPath != "" {
+		die(fmt.Errorf("-record conflicts with -replay/-replay-diff (a replay re-runs the recorded inputs)"))
+	}
+	if *replayTo != 0 && *replayPath == "" {
+		die(fmt.Errorf("-replay-to-cycle requires -replay"))
+	}
+	if replaying && (*imagePath != "" || *wlName != "" || *faultPlan != "" || *dump != "") {
+		die(fmt.Errorf("-replay/-replay-diff take the guest and fault plan from the record; drop -image/-workload/-fault-plan/-dump"))
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "tilevm:", err)
-			os.Exit(1)
+			die(err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "tilevm:", err)
-			os.Exit(1)
+			die(err)
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -77,17 +124,56 @@ func main() {
 		}()
 	}
 
+	if replaying {
+		path, bisect := *replayPath, false
+		if *diffPath != "" {
+			path, bisect = *diffPath, true
+		}
+		if err := replay(path, *replayTo, bisect); err != nil {
+			die(err)
+		}
+		return
+	}
+
 	img, err := loadGuest(*imagePath, *wlName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tilevm:", err)
-		os.Exit(1)
+		die(err)
 	}
 
 	if *dump != "" {
 		if err := dumpBlock(img, *dump, *optimize); err != nil {
-			fmt.Fprintln(os.Stderr, "tilevm:", err)
-			os.Exit(1)
+			die(err)
 		}
+		return
+	}
+
+	if *recordPath != "" {
+		rc := checkpoint.RecordConfig{
+			Workload:           *wlName,
+			ImagePath:          *imagePath,
+			Slaves:             *slaves,
+			Speculative:        *spec,
+			L15Banks:           *l15,
+			MemBanks:           *membanks,
+			Optimize:           *optimize,
+			Morph:              *morph,
+			MorphThreshold:     *threshold,
+			MaxCycles:          *maxCycles,
+			FaultPlan:          *faultPlan,
+			FaultSeed:          *faultSeed,
+			FaultRecovery:      !*noRecover,
+			Recovery:           uint8(recMode),
+			CheckpointInterval: *ckEvery,
+		}
+		res, rec, err := bench.RunRecorded(rc)
+		if err != nil {
+			die(err)
+		}
+		if err := checkpoint.WriteRecordFile(*recordPath, rec); err != nil {
+			die(err)
+		}
+		report(res, *verbose)
+		fmt.Printf("recorded  : %s (%d events)\n", *recordPath, len(rec.Events))
 		return
 	}
 
@@ -100,14 +186,15 @@ func main() {
 	cfg.ConservativeFlags = !*optimize
 	cfg.Morph = *morph
 	cfg.MorphThreshold = *threshold
+	cfg.Recovery = recMode
+	cfg.CheckpointInterval = *ckEvery
 	if *maxCycles != 0 {
 		cfg.MaxCycles = *maxCycles
 	}
 	if *faultPlan != "" {
 		plan, err := fault.ParsePlan(*faultPlan)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "tilevm:", err)
-			os.Exit(1)
+			die(err)
 		}
 		plan.Seed = *faultSeed
 		cfg.Fault = plan
@@ -120,37 +207,89 @@ func main() {
 
 	res, err := core.Run(img, cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tilevm:", err)
-		os.Exit(1)
+		die(err)
 	}
+	report(res, *verbose)
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "tilevm:", err)
+	os.Exit(1)
+}
+
+// replay re-runs a recorded run and verifies it reproduces. With bisect
+// the full replay is followed, on divergence, by a truncated re-replay
+// to the last matching event's cycle, confirming the divergence point.
+// Exits non-zero when the replay does not reproduce the record.
+func replay(path string, toCycle uint64, bisect bool) error {
+	rec, err := checkpoint.ReadRecordFile(path)
+	if err != nil {
+		return err
+	}
+	rep, err := bench.Replay(rec, toCycle)
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep)
+	if rep.Match && rep.FirstDivergent < 0 {
+		return nil
+	}
+	if bisect && rep.FirstDivergent > 0 && rep.RefEvent != nil {
+		// Confirm the bisection: everything before the divergent event
+		// replays cleanly.
+		last := rec.Events[rep.FirstDivergent-1]
+		pre, err := bench.Replay(rec, last.Cycle)
+		if err != nil {
+			return err
+		}
+		if pre.FirstDivergent < 0 {
+			fmt.Printf("  prefix: clean through event #%d (cycle %d)\n",
+				rep.FirstDivergent-1, last.Cycle)
+		} else {
+			fmt.Printf("  prefix: diverges earlier, at event #%d\n", pre.FirstDivergent)
+		}
+	}
+	os.Exit(2)
+	return nil
+}
+
+// report prints the run outcome, matching the historical tilevm output.
+func report(res *core.Result, verbose bool) {
 	os.Stdout.WriteString(res.Stdout)
 	fmt.Printf("exit code : %d\n", res.ExitCode)
 	fmt.Printf("cycles    : %d\n", res.Cycles)
-	if *verbose {
-		m := res.M
-		fmt.Printf("dispatches        : %d\n", m.BlockDispatches)
-		fmt.Printf("host instructions : %d\n", m.HostInsts)
-		fmt.Printf("translations      : %d (%d guest insts)\n", m.Translations, m.TransGuestInsts)
-		fmt.Printf("demand misses     : %d\n", m.DemandMisses)
-		fmt.Printf("spec wasted       : %d\n", m.SpecWasted)
-		fmt.Printf("L1 code           : %d lookups, %.3f hit, %d flushes, %d chains\n",
-			m.L1CLookups, float64(m.L1CHits)/float64(max(m.L1CLookups, 1)), m.L1CFlushes, m.Chains)
-		fmt.Printf("L1.5 code         : %d lookups, %.3f hit\n", m.L15Lookups, m.L15HitRate())
-		fmt.Printf("L2 code           : %d accesses (%.2e/cycle), %.3f miss\n",
-			m.L2CAccess, m.L2CAccessesPerCycle(), m.L2CMissRate())
-		fmt.Printf("data L1           : %d accesses, %.4f miss\n", m.DL1Accesses, m.DL1MissRate())
-		fmt.Printf("L2 data banks     : %d requests, %d misses\n", m.L2DRequests, m.L2DMisses)
-		fmt.Printf("TLB misses        : %d\n", m.TLBMisses)
-		fmt.Printf("syscalls/assists  : %d/%d\n", m.Syscalls, m.Assists)
-		fmt.Printf("reconfigurations  : %d (%d lines flushed)\n", m.Reconfigs, m.MorphFlushLines)
-		fmt.Printf("SMC invalidations : %d\n", m.SMCInvalidations)
-		if m.FaultsInjected > 0 || m.Timeouts > 0 {
-			fmt.Printf("faults injected   : %d (%d drops, %d delays, %d corruptions, %d DRAM, %d fails, %d stalls)\n",
-				m.FaultsInjected, m.MsgsDropped, m.MsgsDelayed, m.MsgsCorrupted,
-				m.DRAMErrors, m.TileFails, m.TileStalls)
-			fmt.Printf("recovery          : %d timeouts, %d retries, %d role remaps, %d writebacks lost, %d recovery cycles\n",
-				m.Timeouts, m.Retries, m.RoleRemaps, m.WritebacksLost, m.RecoveryCycles)
-		}
+	if !verbose {
+		return
+	}
+	m := res.M
+	fmt.Printf("dispatches        : %d\n", m.BlockDispatches)
+	fmt.Printf("host instructions : %d\n", m.HostInsts)
+	fmt.Printf("translations      : %d (%d guest insts)\n", m.Translations, m.TransGuestInsts)
+	fmt.Printf("demand misses     : %d\n", m.DemandMisses)
+	fmt.Printf("spec wasted       : %d\n", m.SpecWasted)
+	fmt.Printf("L1 code           : %d lookups, %.3f hit, %d flushes, %d chains\n",
+		m.L1CLookups, float64(m.L1CHits)/float64(max(m.L1CLookups, 1)), m.L1CFlushes, m.Chains)
+	fmt.Printf("L1.5 code         : %d lookups, %.3f hit\n", m.L15Lookups, m.L15HitRate())
+	fmt.Printf("L2 code           : %d accesses (%.2e/cycle), %.3f miss\n",
+		m.L2CAccess, m.L2CAccessesPerCycle(), m.L2CMissRate())
+	fmt.Printf("data L1           : %d accesses, %.4f miss\n", m.DL1Accesses, m.DL1MissRate())
+	fmt.Printf("L2 data banks     : %d requests, %d misses\n", m.L2DRequests, m.L2DMisses)
+	fmt.Printf("TLB misses        : %d\n", m.TLBMisses)
+	fmt.Printf("syscalls/assists  : %d/%d\n", m.Syscalls, m.Assists)
+	fmt.Printf("reconfigurations  : %d (%d lines flushed)\n", m.Reconfigs, m.MorphFlushLines)
+	fmt.Printf("SMC invalidations : %d\n", m.SMCInvalidations)
+	if m.FaultsInjected > 0 || m.Timeouts > 0 {
+		fmt.Printf("faults injected   : %d (%d drops, %d delays, %d corruptions, %d DRAM, %d fails, %d stalls)\n",
+			m.FaultsInjected, m.MsgsDropped, m.MsgsDelayed, m.MsgsCorrupted,
+			m.DRAMErrors, m.TileFails, m.TileStalls)
+		fmt.Printf("recovery          : %d timeouts, %d retries, %d role remaps, %d writebacks lost, %d recovery cycles\n",
+			m.Timeouts, m.Retries, m.RoleRemaps, m.WritebacksLost, m.RecoveryCycles)
+		fmt.Printf("fault msgs recycled: %d\n", m.FaultMsgsRecycled)
+	}
+	if m.Checkpoints > 0 || m.Rollbacks > 0 {
+		fmt.Printf("checkpoints       : %d\n", m.Checkpoints)
+		fmt.Printf("rollbacks         : %d (%d re-executed cycles, %d restore-penalty cycles)\n",
+			m.Rollbacks, m.ReexecCycles, m.RollbackCycles)
 	}
 }
 
@@ -192,7 +331,7 @@ func loadGuest(imagePath, wlName string) (*guest.Image, error) {
 	case imagePath != "" && wlName != "":
 		return nil, fmt.Errorf("use either -image or -workload, not both")
 	case imagePath != "":
-		return loadImageAuto(imagePath)
+		return guest.LoadAutoFile(imagePath)
 	case wlName != "":
 		p, ok := workload.ByName(wlName)
 		if !ok {
@@ -202,21 +341,6 @@ func loadGuest(imagePath, wlName string) (*guest.Image, error) {
 	default:
 		return nil, fmt.Errorf("specify -image or -workload")
 	}
-}
-
-// loadImageAuto sniffs the file format: ELF32 executable or TVMI image.
-func loadImageAuto(path string) (*guest.Image, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	var magic [4]byte
-	_, err = f.Read(magic[:])
-	f.Close()
-	if err == nil && string(magic[:]) == "\x7fELF" {
-		return guest.LoadELFFile(path)
-	}
-	return guest.LoadImageFile(path)
 }
 
 func max(a, b uint64) uint64 {

@@ -1,21 +1,32 @@
 package bench
 
 import (
+	"fmt"
+
 	"tilevm/internal/core"
 	"tilevm/internal/fault"
 )
 
 // FaultSweep measures graceful degradation under fail-stop tile faults
-// (beyond the paper): each configuration kills a growing prefix of
-// worker tiles mid-run and the machine morphs around the failures —
-// the manager excises each dead tile, re-queues its in-flight
-// translations, and re-interleaves a dead bank's address fraction over
-// the surviving banks. Values are cycles relative to the fault-free
-// run of the same benchmark, so 1.0 means unharmed and larger means
-// the shrunken machine runs slower. Suite.Run's cross-check against
-// the Pentium III baseline doubles as the correctness witness: every
-// faulted run must still produce the architecturally correct result.
+// with the default in-place excision recovery. See FaultSweepMode.
 func (s *Suite) FaultSweep() (*Figure, error) {
+	return s.FaultSweepMode(core.RecoverExcise)
+}
+
+// FaultSweepMode measures graceful degradation under fail-stop tile
+// faults (beyond the paper): each configuration kills a growing prefix
+// of worker tiles mid-run and the machine recovers per mode — excision
+// morphs around the failure in place (a dead bank's dirty lines are
+// lost writebacks), rollback restores the last whole-machine checkpoint
+// and re-executes on the surviving topology whenever excision would
+// lose writebacks. Values are cycles relative to the fault-free run of
+// the same benchmark, so 1.0 means unharmed and larger means the
+// recovered machine ran slower. Suite.Run's cross-check against the
+// Pentium III baseline doubles as the correctness witness; in rollback
+// mode the sweep additionally verifies the recovered run is *lossless*:
+// final guest state bit-identical to the fault-free run (StateHash) and
+// zero writebacks lost.
+func (s *Suite) FaultSweepMode(mode core.RecoveryMode) (*Figure, error) {
 	// The schedule kills L2 data banks: each death monotonically shrinks
 	// cache capacity and adds recovery cost, so slowdown grows with the
 	// failed-tile count. (Killing a translation slave instead can
@@ -30,6 +41,10 @@ func (s *Suite) FaultSweep() (*Figure, error) {
 		{"2 dead banks", fault.TileFail{Tile: 14, Cycle: 300_000}},
 		{"3 dead banks", fault.TileFail{Tile: 2, Cycle: 450_000}},
 	}
+	modeTag := ""
+	if mode == core.RecoverRollback {
+		modeTag = " rollback"
+	}
 	type row struct {
 		label string
 		id    string // Run cache key; "default" shares the fault-free runs
@@ -42,8 +57,8 @@ func (s *Suite) FaultSweep() (*Figure, error) {
 			plan.Fails = append(plan.Fails, kill.fail)
 		}
 		label := kills[k-1].label
-		rows = append(rows, row{label, "fault " + label,
-			with(func(c *core.Config) { c.Fault = plan })})
+		rows = append(rows, row{label, "fault" + modeTag + " " + label,
+			with(func(c *core.Config) { c.Fault = plan; c.Recovery = mode })})
 	}
 
 	benches := s.Benchmarks()
@@ -61,26 +76,43 @@ func (s *Suite) FaultSweep() (*Figure, error) {
 		series[ci] = Series{Label: rows[ci].label, Values: make([]float64, len(benches))}
 	}
 	for bi, bench := range benches {
-		var ref float64
+		var ref *core.Result
 		for ci := range rows {
 			r, err := s.Run(bench, rows[ci].id, rows[ci].cfg)
 			if err != nil {
 				return nil, err
 			}
 			if ci == 0 {
-				ref = float64(r.Cycles)
+				ref = r
+			} else if mode == core.RecoverRollback {
+				if r.StateHash != ref.StateHash {
+					return nil, fmt.Errorf(
+						"rollback recovery not lossless: %s %q final state %#x != fault-free %#x",
+						bench, rows[ci].label, r.StateHash, ref.StateHash)
+				}
+				if r.M.WritebacksLost != 0 {
+					return nil, fmt.Errorf("rollback recovery lost %d writebacks: %s %q",
+						r.M.WritebacksLost, bench, rows[ci].label)
+				}
 			}
-			series[ci].Values[bi] = float64(r.Cycles) / ref
+			series[ci].Values[bi] = float64(r.Cycles) / float64(ref.Cycles)
 		}
 	}
+	name := "FaultSweep"
+	notes := "kill schedule: bank tile 7 @150k cycles, then bank 14 @300k, then bank 2 @450k " +
+		"(one of the four banks survives); every faulted run is still checked for the " +
+		"architecturally correct result"
+	if mode == core.RecoverRollback {
+		name = "FaultSweep (rollback)"
+		notes += "; rollback runs additionally verified bit-identical to the fault-free " +
+			"final state with zero writebacks lost"
+	}
 	return &Figure{
-		Name:       "FaultSweep",
+		Name:       name,
 		Title:      "Graceful degradation under fail-stop tile faults (beyond the paper)",
 		Metric:     "cycles relative to the fault-free run (higher is worse)",
 		Benchmarks: benches,
 		Series:     series,
-		Notes: "kill schedule: bank tile 7 @150k cycles, then bank 14 @300k, then bank 2 @450k " +
-			"(one of the four banks survives); every faulted run is still checked for the " +
-			"architecturally correct result",
+		Notes:      notes,
 	}, nil
 }

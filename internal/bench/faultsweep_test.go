@@ -1,6 +1,10 @@
 package bench
 
-import "testing"
+import (
+	"testing"
+
+	"tilevm/internal/core"
+)
 
 // TestFaultSweepDegradesGracefully: slowdown must grow (weakly
 // monotonically) with the number of failed tiles, and losing three
@@ -40,5 +44,40 @@ func TestFaultSweepDegradesGracefully(t *testing.T) {
 			t.Errorf("%s: killing 3 bank tiles did not slow the machine (%.4f -> %.4f)",
 				bench, first.Values[bi], last.Values[bi])
 		}
+	}
+}
+
+// TestFaultSweepRollbackLossless pins the rollback-recovery guarantees:
+// every faulted run's final guest state is bit-identical to the
+// fault-free run (StateHash equality, checked inside FaultSweepMode),
+// zero writebacks are lost, and the sweep actually exercises the
+// rollback path (at least one run rolled back rather than excising a
+// dirty bank in place).
+func TestFaultSweepRollbackLossless(t *testing.T) {
+	s := NewSuite()
+	s.Quick = true
+	f, err := s.FaultSweepMode(core.RecoverRollback)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + f.String())
+	var rollbacks uint64
+	for _, bench := range f.Benchmarks {
+		for _, label := range []string{"1 dead bank", "2 dead banks", "3 dead banks"} {
+			// Cache hit on the runs FaultSweepMode just did; the config
+			// argument is unused for cached keys.
+			r, err := s.Run(bench, "fault rollback "+label, core.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rollbacks += r.M.Rollbacks
+			if r.M.WritebacksLost != 0 {
+				t.Errorf("%s %q: lost %d writebacks under rollback recovery",
+					bench, label, r.M.WritebacksLost)
+			}
+		}
+	}
+	if rollbacks == 0 {
+		t.Error("no run ever rolled back; the sweep is not exercising the rollback path")
 	}
 }

@@ -166,3 +166,50 @@ func (c *Cache) MissRate() float64 {
 
 // ResetStats clears the counters but keeps cache contents.
 func (c *Cache) ResetStats() { c.Accesses, c.Misses, c.Evictions = 0, 0, 0 }
+
+// LineState is one cache line in an exported snapshot.
+type LineState struct {
+	Tag   uint32
+	Valid bool
+	Dirty bool
+	Used  uint64
+}
+
+// State is a restorable snapshot of a cache: full tag/LRU/dirty
+// contents plus counters. The geometry itself is not captured — a
+// snapshot can only be imported into a cache of identical geometry.
+type State struct {
+	Lines     []LineState
+	Stamp     uint64
+	Accesses  uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// Export snapshots the cache contents and counters.
+func (c *Cache) Export() State {
+	s := State{
+		Lines:     make([]LineState, len(c.lines)),
+		Stamp:     c.stamp,
+		Accesses:  c.Accesses,
+		Misses:    c.Misses,
+		Evictions: c.Evictions,
+	}
+	for i, l := range c.lines {
+		s.Lines[i] = LineState{Tag: l.tag, Valid: l.valid, Dirty: l.dirty, Used: l.used}
+	}
+	return s
+}
+
+// Import restores a snapshot taken from a cache of the same geometry.
+func (c *Cache) Import(s State) error {
+	if len(s.Lines) != len(c.lines) {
+		return fmt.Errorf("cachesim: snapshot has %d lines, cache has %d", len(s.Lines), len(c.lines))
+	}
+	for i, l := range s.Lines {
+		c.lines[i] = line{tag: l.Tag, valid: l.Valid, dirty: l.Dirty, used: l.Used}
+	}
+	c.stamp = s.Stamp
+	c.Accesses, c.Misses, c.Evictions = s.Accesses, s.Misses, s.Evictions
+	return nil
+}

@@ -16,6 +16,8 @@
 package codecache
 
 import (
+	"sort"
+
 	"tilevm/internal/rawisa"
 	"tilevm/internal/translate"
 )
@@ -136,6 +138,27 @@ func (l *L1) Insert(pc uint32, code []rawisa.Inst) (int, InsertStats) {
 func (l *L1) Contains(pc uint32) bool {
 	_, ok := l.entry[pc]
 	return ok
+}
+
+// EntryPCs returns the resident blocks' guest PCs in arena (insertion)
+// order. Re-inserting the same translations in this order reproduces
+// the arena layout and chain patches exactly, which is how checkpoint
+// restore rebuilds the L1 without snapshotting host code.
+func (l *L1) EntryPCs() []uint32 {
+	type ent struct {
+		pc  uint32
+		idx int
+	}
+	ents := make([]ent, 0, len(l.entry))
+	for pc, idx := range l.entry {
+		ents = append(ents, ent{pc, idx})
+	}
+	sort.Slice(ents, func(i, j int) bool { return ents[i].idx < ents[j].idx })
+	pcs := make([]uint32, len(ents))
+	for i, e := range ents {
+		pcs[i] = e.pc
+	}
+	return pcs
 }
 
 // PCForIndex maps an arena index back to the guest PC of the block
@@ -275,6 +298,19 @@ func (c *L2) Bytes() int { return c.bytes }
 
 // Len returns the number of cached blocks.
 func (c *L2) Len() int { return len(c.blocks) }
+
+// OrderedPCs returns the resident blocks' guest PCs in insertion
+// order, for checkpoint capture: restore re-translates and re-inserts
+// in this order, reproducing FIFO eviction state.
+func (c *L2) OrderedPCs() []uint32 {
+	pcs := make([]uint32, 0, len(c.blocks))
+	for _, pc := range c.order {
+		if _, ok := c.blocks[pc]; ok {
+			pcs = append(pcs, pc)
+		}
+	}
+	return pcs
+}
 
 // RemoveOverlapping drops every block whose guest byte range
 // intersects [lo, hi) and returns the removed entry PCs

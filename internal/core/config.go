@@ -11,9 +11,45 @@ import (
 	"fmt"
 	"io"
 
+	"tilevm/internal/checkpoint"
 	"tilevm/internal/fault"
 	"tilevm/internal/raw"
 )
+
+// RecoveryMode selects how the manager handles a dead worker whose
+// excision would lose state.
+type RecoveryMode uint8
+
+const (
+	// RecoverExcise morphs around the failure in place: the dead tile
+	// is cut out of the virtual architecture and any dirty lines in a
+	// dead bank are lost (counted as WritebacksLost). This is PR 1's
+	// lossy behavior and the default.
+	RecoverExcise RecoveryMode = iota
+	// RecoverRollback restores the last checkpoint when excision would
+	// lose writebacks, re-morphs to the surviving topology and
+	// re-executes, so the guest-visible final state is bit-identical to
+	// a fault-free run.
+	RecoverRollback
+)
+
+// ParseRecoveryMode parses the -recovery flag values.
+func ParseRecoveryMode(s string) (RecoveryMode, error) {
+	switch s {
+	case "", "excise":
+		return RecoverExcise, nil
+	case "rollback":
+		return RecoverRollback, nil
+	}
+	return 0, fmt.Errorf("core: unknown recovery mode %q (want excise or rollback)", s)
+}
+
+func (m RecoveryMode) String() string {
+	if m == RecoverRollback {
+		return "rollback"
+	}
+	return "excise"
+}
 
 // Config selects a virtual architecture: how the 16 tiles are
 // provisioned between functions. The paper's experiments sweep these
@@ -70,6 +106,19 @@ type Config struct {
 	// useful for demonstrating the failure mode (typically a diagnosed
 	// deadlock).
 	FaultRecovery bool
+
+	// Recovery selects lossy excision (default) or checkpoint rollback
+	// when a dead bank holds dirty lines. Rollback implies periodic
+	// checkpointing and requires FaultRecovery (the detectors).
+	Recovery RecoveryMode
+	// CheckpointInterval is the capture period in cycles. 0 means
+	// checkpointing off, unless Recovery is RecoverRollback, in which
+	// case it defaults to DefaultCheckpointInterval.
+	CheckpointInterval uint64
+	// Journal, if non-nil, receives the run's deterministic event
+	// stream (checkpoints, syscalls, injected faults, excisions,
+	// rollbacks, final state) for record-replay.
+	Journal *checkpoint.Journal
 
 	// MaxCycles is the simulation watchdog (0 = default).
 	MaxCycles uint64
@@ -134,6 +183,34 @@ type placement struct {
 	// switchIsBank records the initial role of each switchable tile.
 	switchIsBank map[int]bool
 	idle         []int
+}
+
+// DefaultCheckpointInterval is the capture period armed automatically
+// with rollback recovery: frequent enough that re-execution after a
+// fault is bounded, sparse enough that host-side capture cost stays
+// small. (Capture charges no virtual cycles either way.)
+const DefaultCheckpointInterval = 100_000
+
+// dropDead removes dead tiles from the role lists, for a rollback
+// re-execution attempt: the dead tiles are not spawned at all, and the
+// restored machine starts directly in the surviving topology.
+func (p *placement) dropDead(dead []int) {
+	isDead := make(map[int]bool, len(dead))
+	for _, t := range dead {
+		isDead[t] = true
+	}
+	filter := func(ts []int) []int {
+		kept := ts[:0]
+		for _, t := range ts {
+			if !isDead[t] {
+				kept = append(kept, t)
+			}
+		}
+		return kept
+	}
+	p.slaves = filter(append([]int(nil), p.slaves...))
+	p.banks = filter(append([]int(nil), p.banks...))
+	p.switchable = filter(append([]int(nil), p.switchable...))
 }
 
 // place resolves the config to tile assignments.

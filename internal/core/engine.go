@@ -3,10 +3,12 @@ package core
 import (
 	"fmt"
 
+	"tilevm/internal/checkpoint"
 	"tilevm/internal/dcache"
 	"tilevm/internal/fault"
 	"tilevm/internal/guest"
 	"tilevm/internal/metrics"
+	"tilevm/internal/mmu"
 	"tilevm/internal/raw"
 	"tilevm/internal/translate"
 )
@@ -17,8 +19,13 @@ type Result struct {
 	ExitCode int32
 	Stdout   string
 	M        metrics.Set
+	// StateHash condenses the guest-visible final state (registers,
+	// flags, PC, exit status, stdout, memory contents); two runs with
+	// equal hashes ended bit-identically.
+	StateHash uint64
 	// TileBusy is the per-tile busy-cycle count (index = tile id);
-	// divide by Cycles for utilization.
+	// divide by Cycles for utilization. After a rollback it covers the
+	// final attempt only.
 	TileBusy []uint64
 }
 
@@ -66,17 +73,157 @@ type engine struct {
 	// (writeback-loss) at excision time; registered by each worker in
 	// robust mode. Single-threaded in virtual time like the rest.
 	bankOf map[int]*dcache.Bank
+
+	// Checkpoint/rollback state. ck drives the capture cadence (nil
+	// when checkpointing is off); restore is the snapshot this attempt
+	// re-executes from (nil on the first attempt); restoreBlocks holds
+	// the re-translated code cache contents for the restore; rollback
+	// is set by the manager when a dead bank's dirty lines demand a
+	// rollback instead of a lossy excision, and aborts the attempt.
+	ck            *checkpoint.Checkpointer
+	restore       *checkpoint.State
+	restoreBlocks map[uint32]*translate.Result
+	rollback      *rollbackReq
+	// mmuLive is the MMU tile kernel's live state, registered so the
+	// exec-tile capture can snapshot it.
+	mmuLive *mmu.MMU
+}
+
+// rollbackReq records a manager-detected failure that requires
+// rollback: the dead tile and the detection cycle.
+type rollbackReq struct {
+	tile   int
+	detect uint64
+}
+
+// rollbackStats carries accounting across re-execution attempts: the
+// restored metrics snapshot predates the rollback, so these totals are
+// re-applied at the start of every attempt.
+type rollbackStats struct {
+	rollbacks uint64
+	reexec    uint64 // checkpoint-to-detection cycles re-executed
+	penalty   uint64 // modeled restore cost charged
+	faults    fault.Counts
+	recycled  uint64 // pool recycle count from aborted attempts
+}
+
+// maxRollbackAttempts bounds re-execution; a plan with more distinct
+// worker failures than this is rejected by validateFaultPlan anyway.
+const maxRollbackAttempts = 16
+
+// jadd appends to the run's journal, if one is configured.
+func (e *engine) jadd(kind checkpoint.EventKind, cycle, a, b uint64) {
+	e.cfg.Journal.Add(kind, cycle, a, b)
 }
 
 // Run executes a guest image under the given virtual architecture
 // configuration and returns cycle counts and metrics.
+//
+// With rollback recovery armed, Run is an attempt loop: goroutine
+// stacks cannot be snapshotted, so "rollback" means aborting the
+// simulation, building a fresh machine seeded from the last checkpoint
+// (with the dead tile removed from the placement), and re-running on
+// the same absolute timeline via sim.SetStart. Checkpoints are captured
+// at the exec tile's dispatch boundary, where no request is
+// outstanding; in-flight messages are dropped by the restore, which is
+// exactly the lost-message case the retry/heartbeat protocols recover
+// from.
 func Run(img *guest.Image, cfg Config) (*Result, error) {
-	pl, err := place(&cfg)
-	if err != nil {
-		return nil, err
-	}
 	if cfg.MaxCycles == 0 {
 		cfg.MaxCycles = 20_000_000_000
+	}
+	if cfg.Recovery == RecoverRollback {
+		if cfg.CheckpointInterval == 0 {
+			cfg.CheckpointInterval = DefaultCheckpointInterval
+		}
+		if !cfg.Fault.Empty() && !cfg.FaultRecovery {
+			return nil, fmt.Errorf("core: rollback recovery requires fault recovery (the failure detectors)")
+		}
+	}
+	var ck *checkpoint.Checkpointer
+	if cfg.CheckpointInterval > 0 {
+		ck = checkpoint.NewCheckpointer(cfg.CheckpointInterval)
+	}
+
+	var (
+		dead  []int
+		start uint64
+		extra rollbackStats
+	)
+	for attempt := 0; ; attempt++ {
+		res, rb, err := runAttempt(img, cfg, ck, dead, start, extra)
+		if rb == nil {
+			return res, err
+		}
+		if attempt+1 >= maxRollbackAttempts {
+			return res, fmt.Errorf("core: rollback recovery exceeded %d attempts", maxRollbackAttempts)
+		}
+		dead = append(dead, rb.tile)
+		restore := ck.Last()
+		var target, pages uint64
+		if restore != nil {
+			target = restore.Cycles
+			pages = uint64(len(restore.Mem.Pages))
+		}
+		penalty := cfg.Params.RollbackFixedOcc + pages*cfg.Params.RollbackPerPageOcc
+		start = rb.detect + penalty
+		extra.rollbacks++
+		extra.reexec += rb.detect - target
+		extra.penalty += penalty
+		extra.faults = addCounts(extra.faults, rb.counts)
+		extra.recycled += rb.recycled
+		ck.Rearm()
+		cfg.Journal.Add(checkpoint.EvRollback, start, uint64(rb.tile), target)
+	}
+}
+
+// addCounts sums fault tallies across re-execution attempts. Faults
+// injected before a rollback really happened in simulation, so the
+// final metrics report the cumulative count.
+func addCounts(a, b fault.Counts) fault.Counts {
+	return fault.Counts{
+		Drops:       a.Drops + b.Drops,
+		Delays:      a.Delays + b.Delays,
+		Corruptions: a.Corruptions + b.Corruptions,
+		Stalls:      a.Stalls + b.Stalls,
+		Fails:       a.Fails + b.Fails,
+		DRAMErrors:  a.DRAMErrors + b.DRAMErrors,
+	}
+}
+
+// abortedAttempt extends rollbackReq with the aborted attempt's
+// carried accounting.
+type abortedAttempt struct {
+	rollbackReq
+	counts   fault.Counts
+	recycled uint64
+}
+
+// runAttempt performs one full simulation. It returns a non-nil
+// abortedAttempt when the manager requested a rollback; the caller
+// re-invokes with the dead tile excluded and the clock advanced.
+func runAttempt(img *guest.Image, cfg Config, ck *checkpoint.Checkpointer,
+	dead []int, start uint64, extra rollbackStats) (*Result, *abortedAttempt, error) {
+
+	pl, err := place(&cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	restore := ck.Last()
+	plan := cfg.Fault
+	if len(dead) > 0 {
+		pl.dropDead(dead)
+		if len(pl.slaves) == 0 || len(pl.banks) == 0 {
+			return nil, nil, fmt.Errorf("core: rollback left %d slaves and %d banks; need at least one of each",
+				len(pl.slaves), len(pl.banks))
+		}
+		// Dead tiles are not spawned, so their fail clauses must not
+		// re-fire (and re-count) during re-execution.
+		plan = plan.WithoutFails(dead)
+		cfg.Fault = plan
+	} else {
+		// First attempt: run from the image, not from a snapshot.
+		restore = nil
 	}
 
 	e := &engine{
@@ -91,22 +238,53 @@ func Run(img *guest.Image, cfg Config) (*Result, error) {
 		}),
 		codePages: map[uint32]bool{},
 		pageInval: map[uint32]uint64{},
+		ck:        ck,
+		restore:   restore,
 	}
 	e.m.Sim.SetLimit(cfg.MaxCycles)
+	if start > 0 {
+		e.m.Sim.SetStart(start)
+	}
 
 	if !cfg.Fault.Empty() {
 		if err := validateFaultPlan(&pl, &cfg); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		e.inj = fault.NewInjector(cfg.Fault)
 		e.m.Faults = e.inj
 		e.robust = cfg.FaultRecovery
 		e.bankOf = map[int]*dcache.Bank{}
+		if cfg.Journal != nil {
+			e.inj.Observe = func(kind fault.Kind, tile int, now uint64) {
+				e.jadd(checkpoint.EvFault, now, uint64(kind), uint64(tile))
+			}
+		}
+		// Dropped messages never enter a port queue, so the sender
+		// holds the only reference and pooled payloads recycle
+		// immediately at the send site.
+		e.m.OnDrop = e.recycleFaulty
 	}
+
+	if restore != nil {
+		e.applyRestore(restore)
+	}
+	e.stats.Rollbacks = extra.rollbacks
+	e.stats.ReexecCycles = extra.reexec
+	e.stats.RollbackCycles = extra.penalty
 
 	e.spawn()
 
 	simErr := e.m.Run()
+
+	if e.rollback != nil {
+		// The attempt is abandoned wholesale; only the fault tallies
+		// survive into the accounting of the final attempt.
+		return nil, &abortedAttempt{
+			rollbackReq: *e.rollback,
+			counts:      e.inj.Counts(),
+			recycled:    e.pool.Recycled,
+		}, nil
+	}
 
 	if e.stopCycles == 0 {
 		e.stopCycles = e.m.Sim.Now()
@@ -118,7 +296,7 @@ func Run(img *guest.Image, cfg Config) (*Result, error) {
 		e.stats.SpecWasted = uint64(len(e.mgr.specStored))
 	}
 	if e.inj != nil {
-		fc := e.inj.Counts()
+		fc := addCounts(extra.faults, e.inj.Counts())
 		e.stats.FaultsInjected = fc.Total()
 		e.stats.MsgsDropped = fc.Drops
 		e.stats.MsgsDelayed = fc.Delays
@@ -127,22 +305,25 @@ func Run(img *guest.Image, cfg Config) (*Result, error) {
 		e.stats.TileFails = fc.Fails
 		e.stats.TileStalls = fc.Stalls
 	}
+	e.stats.FaultMsgsRecycled = extra.recycled + e.pool.Recycled
 	res := &Result{
-		Cycles:   e.stopCycles,
-		ExitCode: e.proc.Kern.ExitCode,
-		Stdout:   e.proc.Kern.Stdout.String(),
-		M:        e.stats,
-		TileBusy: e.m.BusyCycles(),
+		Cycles:    e.stopCycles,
+		ExitCode:  e.proc.Kern.ExitCode,
+		Stdout:    e.proc.Kern.Stdout.String(),
+		M:         e.stats,
+		StateHash: checkpoint.FinalHash(e.proc),
+		TileBusy:  e.m.BusyCycles(),
 	}
+	e.jadd(checkpoint.EvFinal, e.stopCycles, uint64(uint32(res.ExitCode)), res.StateHash)
 	// Partial results are returned alongside the error so callers can
 	// diagnose watchdog/abort conditions.
 	if simErr != nil {
-		return res, fmt.Errorf("core: simulation failed: %w", simErr)
+		return res, nil, fmt.Errorf("core: simulation failed: %w", simErr)
 	}
 	if e.execErr != nil {
-		return res, fmt.Errorf("core: guest execution failed: %w", e.execErr)
+		return res, nil, fmt.Errorf("core: guest execution failed: %w", e.execErr)
 	}
-	return res, nil
+	return res, nil, nil
 }
 
 // spawn registers this engine's tile kernels on the machine.

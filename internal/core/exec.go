@@ -24,6 +24,9 @@ func (e *engine) execKernel(c *raw.TileCtx) {
 		dl1:    cachesim.New(P.DCacheBytes, P.DCacheWays, P.DCacheLine),
 		interp: x86interp.New(e.proc),
 	}
+	if e.restore != nil {
+		e.restoreExecCaches(l1, env)
+	}
 	cpu := &rawexec.CPU{}
 	cpu.LoadGuest(&e.proc.CPU)
 	// prog mirrors the L1 arena in predecoded form so block dispatch
@@ -39,6 +42,16 @@ func (e *engine) execKernel(c *raw.TileCtx) {
 	traced := 0
 
 	for {
+		// Checkpoint at the dispatch boundary: the one point where the
+		// guest has no request in flight, so a snapshot here plus the
+		// service tiles' own state is the whole machine. The live
+		// register file is stored back first — the dispatch loop owns it
+		// between blocks, and e.proc.CPU is stale until loop exit.
+		if e.ck.Due(c.Now()) && e.mgr != nil && e.mmuLive != nil {
+			cpu.StoreGuest(&e.proc.CPU)
+			e.proc.PC = pc
+			e.capture(c, l1, env)
+		}
 		e.stats.BlockDispatches++
 		c.Tick(P.DispatchOcc + P.L1LookupOcc)
 		source := "L1"
@@ -100,6 +113,11 @@ func (e *engine) execKernel(c *raw.TileCtx) {
 	}
 
 	cpu.StoreGuest(&e.proc.CPU)
+	// Pin the architectural PC to the dispatch-loop exit point:
+	// otherwise proc.PC holds whatever the last assist (or checkpoint
+	// capture) left there, which is timing-dependent — and the final
+	// state hash must depend only on guest-architectural history.
+	e.proc.PC = pc
 	e.stats.L1CLookups = l1.Lookups
 	e.stats.L1CHits = l1.Hits
 	e.stats.L1CFlushes = l1.Flushes
@@ -143,6 +161,12 @@ func (e *engine) rpc(c *raw.TileCtx, send func(attempt int), match func(any) (an
 				}
 			}
 			deadline = c.Now() + backoff
+			continue
+		}
+		if cm, ok := msg.Payload.(raw.Corrupted); ok {
+			// The wrapper's single consumption point on this tile: only
+			// now is the pooled payload unaliased and safe to recycle.
+			e.recycleFaulty(cm.Payload)
 			continue
 		}
 		if v, done := match(msg.Payload); done {
@@ -346,6 +370,10 @@ func (v *execEnv) touch(addr uint32, write bool) bool {
 	v.c.Send(v.e.pl.mmu, rq, wordsMemReq)
 	for {
 		msg := v.c.Recv()
+		if cm, ok := msg.Payload.(raw.Corrupted); ok {
+			v.e.recycleFaulty(cm.Payload)
+			continue
+		}
 		if r, ok := msg.Payload.(*memResp); ok && r.ID == id {
 			v.e.pool.freeResp(r)
 			return false

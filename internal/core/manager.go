@@ -1,6 +1,7 @@
 package core
 
 import (
+	"tilevm/internal/checkpoint"
 	"tilevm/internal/codecache"
 	"tilevm/internal/raw"
 	"tilevm/internal/sim"
@@ -98,12 +99,19 @@ func (e *engine) managerKernel(c *raw.TileCtx) {
 		st.banksNow = append([]int(nil), e.pl.banks...)
 		st.lastBeat = map[int]uint64{}
 		st.outstanding = map[int]outWork{}
+		// Seed liveness at the current time, not zero: after a rollback
+		// the clock resumes mid-run (sim.SetStart), and a zero seed would
+		// read as every worker having been silent since cycle 0 — the
+		// detector would excise the whole machine on its first tick.
 		for _, t := range e.pl.slaves {
-			st.lastBeat[t] = 0
+			st.lastBeat[t] = c.Now()
 		}
 		for _, t := range e.pl.banks {
-			st.lastBeat[t] = 0
+			st.lastBeat[t] = c.Now()
 		}
+	}
+	if e.restore != nil {
+		e.restoreManager(st)
 	}
 	e.mgr = st
 
@@ -236,6 +244,23 @@ func (st *managerState) handleRebankAck(m rebankAck) {
 func (st *managerState) excise(t int) {
 	P := st.e.cfg.Params
 	role := st.roles[t]
+	if st.e.rollback != nil {
+		return // attempt already aborting; further excisions are moot
+	}
+	if role == roleBank && st.e.cfg.Recovery == RecoverRollback {
+		if bank := st.e.bankOf[t]; bank != nil && bank.Cache.DirtyLines() > 0 {
+			// Excising this bank in place would lose its dirty lines'
+			// writebacks. Under rollback recovery we abort the attempt
+			// instead: Run restores the last checkpoint, removes the tile
+			// from the placement, and re-executes — losslessly.
+			st.e.rollback = &rollbackReq{tile: t, detect: st.c.Now()}
+			st.e.jadd(checkpoint.EvExcise, st.c.Now(), uint64(t), 1)
+			st.roles[t] = roleDead
+			st.c.Stop()
+			return
+		}
+	}
+	st.e.jadd(checkpoint.EvExcise, st.c.Now(), uint64(t), 0)
 	st.roles[t] = roleDead
 	st.e.stats.RoleRemaps++
 	st.c.Tick(P.RecoveryOcc)

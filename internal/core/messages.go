@@ -98,6 +98,7 @@ type memReq struct {
 	Write   bool
 	ReplyTo int // -1 for posted writebacks
 	ID      uint64
+	pooled  bool // double-free guard, owned by msgPool
 }
 
 // memFwd is the MMU-translated request forwarded to a data bank.
@@ -106,11 +107,13 @@ type memFwd struct {
 	Write   bool
 	ReplyTo int
 	ID      uint64
+	pooled  bool // double-free guard, owned by msgPool
 }
 
 // memResp acknowledges a serviced memory request.
 type memResp struct {
-	ID uint64
+	ID     uint64
+	pooled bool // double-free guard, owned by msgPool
 }
 
 // sysReq proxies a guest syscall: the pinned registers r1..r9

@@ -7,47 +7,105 @@ package core
 // simulator runs exactly one tile kernel at a time, and every handoff
 // between kernels is a happens-before edge.
 //
-// A message that never reaches its consumer — dropped or corrupt-
-// wrapped by fault injection, or a stale reply discarded by an ID
-// mismatch — simply falls to the garbage collector; the pool only
-// loses a reuse opportunity, never correctness. sysReq/sysResp are
-// deliberately NOT pooled: the robust syscall tile caches responses
-// for at-most-once replay, so their lifetime outlives delivery.
+// Fault injection complicates ownership. A *dropped* message never
+// enters a port queue, so the sender holds the only reference and the
+// payload recycles immediately at the send site (via raw.Machine.OnDrop
+// -> engine.recycleFaulty). A *corrupted* message stays aliased by its
+// raw.Corrupted wrapper until the receiver consumes the wrapper — it
+// must NOT return to the free list before then, or the pool would hand
+// out a payload that a queued Corrupted envelope still points at and a
+// later retry would race its own ghost. Each consuming kernel therefore
+// recycles corrupted payloads at its single consumption point. A stale
+// reply discarded by an ID mismatch is freed by the discarding
+// consumer, which at that point holds the only reference.
+//
+// sysReq/sysResp are deliberately NOT pooled: the robust syscall tile
+// caches responses for at-most-once replay, so their lifetime outlives
+// delivery.
+//
+// Every free checks a pooled bit and panics on double-free: returning
+// the same message twice would let two in-flight uses alias one
+// payload, which corrupts simulation results silently — a panic at the
+// second free is strictly better.
 type msgPool struct {
 	reqs  []*memReq
 	fwds  []*memFwd
 	resps []*memResp
+
+	// Recycled counts payloads reclaimed from the fault path (drops and
+	// consumed corruptions) — the messages that previous versions of
+	// this pool silently leaked to the garbage collector.
+	Recycled uint64
 }
 
 func (p *msgPool) newReq() *memReq {
 	if n := len(p.reqs); n > 0 {
 		m := p.reqs[n-1]
 		p.reqs = p.reqs[:n-1]
+		m.pooled = false
 		return m
 	}
 	return &memReq{}
 }
 
-func (p *msgPool) freeReq(m *memReq) { p.reqs = append(p.reqs, m) }
+func (p *msgPool) freeReq(m *memReq) {
+	if m.pooled {
+		panic("core: double free of pooled memReq")
+	}
+	m.pooled = true
+	p.reqs = append(p.reqs, m)
+}
 
 func (p *msgPool) newFwd() *memFwd {
 	if n := len(p.fwds); n > 0 {
 		m := p.fwds[n-1]
 		p.fwds = p.fwds[:n-1]
+		m.pooled = false
 		return m
 	}
 	return &memFwd{}
 }
 
-func (p *msgPool) freeFwd(m *memFwd) { p.fwds = append(p.fwds, m) }
+func (p *msgPool) freeFwd(m *memFwd) {
+	if m.pooled {
+		panic("core: double free of pooled memFwd")
+	}
+	m.pooled = true
+	p.fwds = append(p.fwds, m)
+}
 
 func (p *msgPool) newResp() *memResp {
 	if n := len(p.resps); n > 0 {
 		m := p.resps[n-1]
 		p.resps = p.resps[:n-1]
+		m.pooled = false
 		return m
 	}
 	return &memResp{}
 }
 
-func (p *msgPool) freeResp(m *memResp) { p.resps = append(p.resps, m) }
+func (p *msgPool) freeResp(m *memResp) {
+	if m.pooled {
+		panic("core: double free of pooled memResp")
+	}
+	m.pooled = true
+	p.resps = append(p.resps, m)
+}
+
+// recycleFaulty returns a fault-path payload (dropped at the send site,
+// or corrupted and now consumed by its receiver) to the free list.
+// Non-pooled payloads (sysReq, control messages, ...) are ignored — the
+// fault injector is payload-agnostic, so this must accept anything.
+func (e *engine) recycleFaulty(payload any) {
+	switch m := payload.(type) {
+	case *memReq:
+		e.pool.freeReq(m)
+	case *memFwd:
+		e.pool.freeFwd(m)
+	case *memResp:
+		e.pool.freeResp(m)
+	default:
+		return
+	}
+	e.pool.Recycled++
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"tilevm/internal/checkpoint"
 	"tilevm/internal/codecache"
 	"tilevm/internal/dcache"
 	"tilevm/internal/mmu"
@@ -74,7 +75,7 @@ func (e *engine) workerBody(initial roleKind) func(*raw.TileCtx) {
 				if miss {
 					e.stats.L2DMisses++
 					c.Tick(P.DRAMLat + P.BankLineFill)
-					if e.inj != nil && e.inj.DRAMError(c.Tile) {
+					if e.inj != nil && e.inj.DRAMError(c.Tile, uint64(c.Now())) {
 						// Detected ECC error on the fill: retry the DRAM
 						// round trip.
 						c.Tick(P.DRAMLat)
@@ -89,6 +90,12 @@ func (e *engine) workerBody(initial roleKind) func(*raw.TileCtx) {
 					c.Send(m.ReplyTo, r, wordsMemResp)
 				}
 				e.pool.freeFwd(m)
+
+			case raw.Corrupted:
+				// A corrupted message is discarded here, its single
+				// delivery point — only now is the pooled payload
+				// unaliased and safe to recycle.
+				e.recycleFaulty(m.Payload)
 			}
 		}
 	}
@@ -149,6 +156,12 @@ func (e *engine) l15Kernel(c *raw.TileCtx) {
 func (e *engine) mmuKernel(c *raw.TileCtx) {
 	P := e.cfg.Params
 	m := mmu.New(P.TLBEntries)
+	if e.restore != nil {
+		if err := m.Import(e.restore.MMU); err != nil {
+			panic(err) // impossible: TLB geometry is fixed by Params
+		}
+	}
+	e.mmuLive = m
 	banks := append([]int(nil), e.pl.banks...)
 	for {
 		msg := c.Recv()
@@ -171,6 +184,8 @@ func (e *engine) mmuKernel(c *raw.TileCtx) {
 			if req.Gen > 0 {
 				c.Send(msg.From, rebankAck{Gen: req.Gen}, wordsCtl)
 			}
+		case raw.Corrupted:
+			e.recycleFaulty(req.Payload)
 		}
 	}
 }
@@ -202,7 +217,9 @@ func (e *engine) sysKernel(c *raw.TileCtx) {
 		for i := 0; i < 8; i++ {
 			regs[i] = req.Regs[1+i]
 		}
+		num := regs[0] // EAX: syscall number before the call, return value after
 		e.proc.Kern.Syscall(e.proc.Mem, &regs)
+		e.jadd(checkpoint.EvSyscall, uint64(c.Now()), uint64(num), uint64(regs[0]))
 		var resp sysResp
 		resp.Regs = req.Regs
 		for i := 0; i < 8; i++ {

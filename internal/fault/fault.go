@@ -69,6 +69,41 @@ func (p *Plan) FailedTiles() []int {
 	return out
 }
 
+// WithoutFails returns a copy of the plan with the fail-stop clauses
+// for the given tiles removed. Rollback recovery re-executes with the
+// already-dead tiles excluded from the placement entirely, so their
+// fail clauses must not re-fire (and re-count) on the next attempt.
+func (p *Plan) WithoutFails(tiles []int) *Plan {
+	if p == nil {
+		return nil
+	}
+	dead := make(map[int]bool, len(tiles))
+	for _, t := range tiles {
+		dead[t] = true
+	}
+	q := *p
+	q.Fails = nil
+	for _, f := range p.Fails {
+		if !dead[f.Tile] {
+			q.Fails = append(q.Fails, f)
+		}
+	}
+	return &q
+}
+
+// Kind identifies an injected fault class, for the Observe hook and the
+// replay journal.
+type Kind uint8
+
+const (
+	KindDrop Kind = iota + 1
+	KindDelay
+	KindCorrupt
+	KindStall
+	KindFail
+	KindDRAM
+)
+
 // Verdict is the injector's ruling on one dynamic-network message.
 type Verdict struct {
 	Drop    bool
@@ -99,9 +134,21 @@ type Injector struct {
 	rng    uint64
 	counts Counts
 
-	failAt  map[int]uint64 // tile → fail-stop cycle
-	failed  map[int]bool   // tile → fail already observed
-	stalls  map[int][]TileStall
+	failAt map[int]uint64 // tile → fail-stop cycle
+	failed map[int]bool   // tile → fail already observed
+	stalls map[int][]TileStall
+
+	// Observe, when non-nil, is called once per injected fault with the
+	// fault class, the tile it hit (the sending tile for message faults)
+	// and the virtual cycle. The record-replay journal hangs off this
+	// hook; it must not perturb simulation state.
+	Observe func(kind Kind, tile int, now uint64)
+}
+
+func (in *Injector) observe(kind Kind, tile int, now uint64) {
+	if in.Observe != nil {
+		in.Observe(kind, tile, now)
+	}
 }
 
 // NewInjector builds an injector for the plan. A nil plan yields a nil
@@ -159,19 +206,22 @@ func (in *Injector) chance(p float64) bool {
 // tile `to`. Exactly the per-message probabilities that are nonzero
 // consume PRNG draws, in a fixed order, so disabling one fault class
 // does not perturb another class's schedule.
-func (in *Injector) OnMessage(from, to int) Verdict {
+func (in *Injector) OnMessage(from, to int, now uint64) Verdict {
 	var v Verdict
 	if in.plan.DropProb > 0 && in.chance(in.plan.DropProb) {
 		in.counts.Drops++
+		in.observe(KindDrop, from, now)
 		v.Drop = true
 		return v
 	}
 	if in.plan.CorruptProb > 0 && in.chance(in.plan.CorruptProb) {
 		in.counts.Corruptions++
+		in.observe(KindCorrupt, from, now)
 		v.Corrupt = true
 	}
 	if in.plan.DelayProb > 0 && in.chance(in.plan.DelayProb) {
 		in.counts.Delays++
+		in.observe(KindDelay, from, now)
 		v.Delay = in.plan.DelayCycles
 	}
 	return v
@@ -187,6 +237,7 @@ func (in *Injector) FailedAt(tile int, now uint64) bool {
 	if !in.failed[tile] {
 		in.failed[tile] = true
 		in.counts.Fails++
+		in.observe(KindFail, tile, now)
 	}
 	return true
 }
@@ -211,6 +262,7 @@ func (in *Injector) StallTake(tile int, now uint64) uint64 {
 		if now >= s.Cycle {
 			d += s.Dur
 			in.counts.Stalls++
+			in.observe(KindStall, tile, now)
 		} else {
 			kept = append(kept, s)
 		}
@@ -220,9 +272,10 @@ func (in *Injector) StallTake(tile int, now uint64) uint64 {
 }
 
 // DRAMError rules on one DRAM line fill at a data bank.
-func (in *Injector) DRAMError(tile int) bool {
+func (in *Injector) DRAMError(tile int, now uint64) bool {
 	if in.plan.DRAMProb > 0 && in.chance(in.plan.DRAMProb) {
 		in.counts.DRAMErrors++
+		in.observe(KindDRAM, tile, now)
 		return true
 	}
 	return false

@@ -73,8 +73,8 @@ func TestInjectorDeterminism(t *testing.T) {
 		in := NewInjector(plan)
 		var vs []Verdict
 		for i := 0; i < 5000; i++ {
-			vs = append(vs, in.OnMessage(i%16, (i+3)%16))
-			in.DRAMError(i % 16)
+			vs = append(vs, in.OnMessage(i%16, (i+3)%16, uint64(i)))
+			in.DRAMError(i%16, uint64(i))
 			in.FailedAt(3, uint64(i))
 			in.StallTake(5, uint64(i))
 		}
@@ -108,7 +108,7 @@ func TestSeedChangesSchedule(t *testing.T) {
 		in := NewInjector(&Plan{Seed: seed, DropProb: 0.5})
 		var out []bool
 		for i := 0; i < 64; i++ {
-			out = append(out, in.OnMessage(0, 1).Drop)
+			out = append(out, in.OnMessage(0, 1, uint64(i)).Drop)
 		}
 		return out
 	}

@@ -149,3 +149,19 @@ func LoadImageFile(path string) (*Image, error) {
 	defer f.Close()
 	return ReadImage(f)
 }
+
+// LoadAutoFile sniffs the file format — ELF32 executable or TVMI
+// image — and loads it with the matching loader.
+func LoadAutoFile(path string) (*Image, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var magic [4]byte
+	_, err = f.Read(magic[:])
+	f.Close()
+	if err == nil && string(magic[:]) == "\x7fELF" {
+		return LoadELFFile(path)
+	}
+	return LoadImageFile(path)
+}

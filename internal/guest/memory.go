@@ -12,25 +12,39 @@ const (
 	pageShift = 16
 	pageSize  = 1 << pageShift
 	numPages  = 1 << (32 - pageShift)
+
+	// PageBytes is the page granularity of Capture/Restore snapshots,
+	// exported for the checkpoint codec's length validation.
+	PageBytes = pageSize
 )
 
 // Memory is a sparse little-endian 32-bit address space. Pages are
 // allocated on first write; reads of unmapped memory return zero, which
 // models fresh anonymous pages (the emulated process has no memory
 // protection, matching the paper's userland-only environment).
+//
+// Each page carries a write generation so Capture can snapshot the
+// address space incrementally: only pages written since the previous
+// capture are copied; clean pages share the prior snapshot's immutable
+// backing.
 type Memory struct {
-	pages [numPages]*[pageSize]byte
+	pages    [numPages]*[pageSize]byte
+	writeGen [numPages]uint32
+	gen      uint32 // current capture generation; bumped by Capture
 }
 
 // NewMemory returns an empty address space.
-func NewMemory() *Memory { return &Memory{} }
+func NewMemory() *Memory { return &Memory{gen: 1} }
 
 func (m *Memory) page(addr uint32, alloc bool) *[pageSize]byte {
 	idx := addr >> pageShift
 	p := m.pages[idx]
-	if p == nil && alloc {
-		p = new([pageSize]byte)
-		m.pages[idx] = p
+	if alloc {
+		if p == nil {
+			p = new([pageSize]byte)
+			m.pages[idx] = p
+		}
+		m.writeGen[idx] = m.gen
 	}
 	return p
 }

@@ -60,6 +60,13 @@ type Set struct {
 	RoleRemaps     uint64 // dead tiles excised from the virtual architecture
 	WritebacksLost uint64 // dirty lines in a bank at the moment it died
 	RecoveryCycles uint64 // detection-to-remap latency, summed over excisions
+
+	// Checkpoint/rollback recovery (all zero unless checkpointing is on).
+	Checkpoints       uint64 // snapshots captured
+	Rollbacks         uint64 // re-executions from a checkpoint
+	ReexecCycles      uint64 // cycles between checkpoint and fault detection, re-executed
+	RollbackCycles    uint64 // modeled restore cost charged between detection and restart
+	FaultMsgsRecycled uint64 // dropped/corrupted pooled messages safely reclaimed
 }
 
 // L2CAccessesPerCycle is Figure 6's metric.

@@ -9,6 +9,11 @@
 // the translated physical address.
 package mmu
 
+import (
+	"fmt"
+	"sort"
+)
+
 const (
 	// PageShift is the guest page size (4KB, as on x86).
 	PageShift = 12
@@ -119,6 +124,77 @@ type MMU struct {
 // New builds an MMU with the given TLB size.
 func New(tlbEntries int) *MMU {
 	return &MMU{TLB: NewTLB(tlbEntries), PT: NewPageTable()}
+}
+
+// PTEntry is one virtual-page→frame mapping in an exported snapshot.
+type PTEntry struct {
+	VPN   uint32
+	Frame uint32
+}
+
+// State is a restorable snapshot of the MMU: full TLB contents (so a
+// restored run re-executes with identical hit/miss timing) and the page
+// table as a VPN-sorted slice for deterministic encoding.
+type State struct {
+	Page    []uint32
+	Frame   []uint32
+	Used    []uint64
+	Valid   []bool
+	Stamp   uint64
+	Lookups uint64
+	Misses  uint64
+	Flushes uint64
+
+	PT        []PTEntry
+	NextFrame uint32
+	Walks     uint64
+}
+
+// Export snapshots the MMU.
+func (m *MMU) Export() State {
+	t := m.TLB
+	s := State{
+		Page:    append([]uint32(nil), t.page...),
+		Frame:   append([]uint32(nil), t.frame...),
+		Used:    append([]uint64(nil), t.used...),
+		Valid:   append([]bool(nil), t.valid...),
+		Stamp:   t.stamp,
+		Lookups: t.Lookups,
+		Misses:  t.Misses,
+		Flushes: t.Flushes,
+
+		NextFrame: m.PT.nextFrame,
+		Walks:     m.PT.Walks,
+	}
+	s.PT = make([]PTEntry, 0, len(m.PT.frames))
+	for vpn, f := range m.PT.frames {
+		s.PT = append(s.PT, PTEntry{VPN: vpn, Frame: f})
+	}
+	sort.Slice(s.PT, func(i, j int) bool { return s.PT[i].VPN < s.PT[j].VPN })
+	return s
+}
+
+// Import restores a snapshot into an MMU with the same TLB size.
+func (m *MMU) Import(s State) error {
+	t := m.TLB
+	if len(s.Page) != t.entries || len(s.Frame) != t.entries ||
+		len(s.Used) != t.entries || len(s.Valid) != t.entries {
+		return fmt.Errorf("mmu: snapshot has %d TLB entries, MMU has %d", len(s.Page), t.entries)
+	}
+	copy(t.page, s.Page)
+	copy(t.frame, s.Frame)
+	copy(t.used, s.Used)
+	copy(t.valid, s.Valid)
+	t.stamp = s.Stamp
+	t.Lookups, t.Misses, t.Flushes = s.Lookups, s.Misses, s.Flushes
+
+	m.PT.frames = make(map[uint32]uint32, len(s.PT))
+	for _, e := range s.PT {
+		m.PT.frames[e.VPN] = e.Frame
+	}
+	m.PT.nextFrame = s.NextFrame
+	m.PT.Walks = s.Walks
+	return nil
 }
 
 // Translate maps a guest virtual address to a Raw physical address,

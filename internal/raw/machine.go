@@ -23,6 +23,14 @@ type Machine struct {
 	// no fault code path runs, so a fault-free machine is bit-identical
 	// to one built before this field existed.
 	Faults *fault.Injector
+
+	// OnDrop, if non-nil, is called with the payload of every message
+	// the injector drops at the send site. A dropped message is never
+	// enqueued, so at that moment the sender holds the only reference
+	// and pooled payloads can be recycled immediately — unlike corrupted
+	// messages, which stay aliased by the in-flight Corrupted wrapper
+	// until the receiver consumes it.
+	OnDrop func(payload any)
 }
 
 // Corrupted wraps a payload mangled in flight. The model is a detected
@@ -73,8 +81,11 @@ type TileCtx struct {
 func (c *TileCtx) Send(to int, payload any, words int) {
 	arrival := c.P.Now() + c.M.Params.NetLat(c.Tile, to, words)
 	if f := c.M.Faults; f != nil {
-		v := f.OnMessage(c.Tile, to)
+		v := f.OnMessage(c.Tile, to, uint64(c.P.Now()))
 		if v.Drop {
+			if c.M.OnDrop != nil {
+				c.M.OnDrop(payload)
+			}
 			return
 		}
 		if v.Corrupt {

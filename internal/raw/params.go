@@ -80,6 +80,13 @@ type Params struct {
 	RetryBackoffMax  uint64 // cap on the exponential retry backoff
 	HeartbeatOcc     uint64 // worker occupancy to emit one heartbeat
 	RecoveryOcc      uint64 // manager bookkeeping to excise a dead tile
+
+	// Rollback recovery: modeled cost to restore the machine from the
+	// last checkpoint (fixed protocol overhead plus per guest page
+	// reloaded from the DRAM-resident snapshot). Charged as dead time
+	// between fault detection and the restart of the re-executed run.
+	RollbackFixedOcc   uint64
+	RollbackPerPageOcc uint64
 }
 
 // DefaultParams returns the modeled Raw prototype: a 4×4 grid with the
@@ -141,6 +148,9 @@ func DefaultParams() Params {
 		RetryBackoffMax:  160_000,
 		HeartbeatOcc:     4,
 		RecoveryOcc:      500,
+
+		RollbackFixedOcc:   25_000,
+		RollbackPerPageOcc: 4_000,
 	}
 }
 

@@ -215,6 +215,18 @@ func (s *Simulator) Now() Time { return s.now }
 // A limit of 0 (the default) means no limit.
 func (s *Simulator) SetLimit(t Time) { s.limit = t }
 
+// SetStart moves the simulation clock forward to t before Run. Used by
+// rollback recovery: the re-executed machine continues the original
+// run's absolute timeline (fault-plan cycles, watchdog deadlines and
+// the time limit all stay absolute), so re-executed work shows up
+// honestly in the final cycle count.
+func (s *Simulator) SetStart(t Time) {
+	if s.started {
+		panic("sim: SetStart after Run")
+	}
+	s.now = t
+}
+
 // Stopped reports whether Stop has been called (or the time limit hit).
 func (s *Simulator) Stopped() bool { return s.stopped }
 
@@ -314,7 +326,7 @@ func (s *Simulator) Run() error {
 			p.state = parkDone
 			s.parked <- struct{}{}
 		}()
-		s.schedule(p, 0)
+		s.schedule(p, s.now)
 	}
 
 	var err error
