@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race racepar bench fuzz fuzz-smoke replay-smoke
+.PHONY: check vet build test race racepar bench fuzz fuzz-smoke replay-smoke trace-smoke linkcheck
 
 # The full gate: what CI (and a pre-commit) should run.
 check: vet build test racepar
@@ -56,3 +56,18 @@ replay-smoke:
 	  -recovery rollback -record /tmp/tilevm-replay-smoke.tvrc >/dev/null
 	$(GO) run ./cmd/tilevm -replay /tmp/tilevm-replay-smoke.tvrc
 	rm -f /tmp/tilevm-replay-smoke.tvrc
+
+# End-to-end tracing smoke: capture a traced run, then validate that
+# the Chrome trace JSON parses, shows the tiled layout, and that the
+# sampler CSV has data rows.
+trace-smoke:
+	$(GO) run ./cmd/tilevm -workload 164.gzip \
+	  -trace /tmp/tilevm-trace-smoke.json -trace-interval 10000
+	$(GO) run ./internal/tools/tracecheck \
+	  /tmp/tilevm-trace-smoke.json /tmp/tilevm-trace-smoke.csv
+	rm -f /tmp/tilevm-trace-smoke.json /tmp/tilevm-trace-smoke.csv
+
+# Verify that every relative link in the markdown docs points at a file
+# that exists.
+linkcheck:
+	$(GO) run ./internal/tools/linkcheck README.md DESIGN.md EXPERIMENTS.md ROADMAP.md docs

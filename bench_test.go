@@ -115,6 +115,25 @@ func BenchmarkMachineRunGzip(b *testing.B) {
 	}
 }
 
+// BenchmarkMachineRunGzipTraced is BenchmarkMachineRunGzip with the
+// virtual-time tracer attached (full event timeline plus 10k-cycle
+// interval sampling) — the delta between the two is the cost of
+// *enabled* tracing. The disabled path is what BenchmarkMachineRunGzip
+// itself measures: with no Tracer in the config every emission site is
+// a nil check, allocation-free by internal/trace's TestNilTracerSafe,
+// and must stay within noise (<2%) of the pre-tracing simulator.
+func BenchmarkMachineRunGzipTraced(b *testing.B) {
+	img := gzipImage()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		cfg.Tracer = core.NewTracer(10_000)
+		if _, err := core.Run(img, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkPentiumBaseline measures the baseline model run.
 func BenchmarkPentiumBaseline(b *testing.B) {
 	img := gzipImage()

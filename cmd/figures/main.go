@@ -15,26 +15,31 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"tilevm/internal/bench"
 	"tilevm/internal/core"
+	"tilevm/internal/workload"
 )
 
 func main() {
 	var (
-		fig      = flag.Int("fig", 0, "figure to regenerate (4-11; 0 = all)")
-		quick    = flag.Bool("quick", false, "run a 3-benchmark subset")
-		progress = flag.Bool("progress", false, "print each run as it completes")
-		ablation = flag.Bool("ablations", false, "also run design-choice ablations")
-		whatif   = flag.Bool("whatif", false, "also run the §4.5 hardware-assist what-if analysis")
-		util     = flag.String("utilization", "", "print per-tile utilization for a benchmark (e.g. 176.gcc)")
-		multivm  = flag.Bool("multivm", false, "also run the §5 two-VM fabric-sharing experiment")
-		faultsw  = flag.Bool("faultsweep", false, "also run the graceful-degradation fault sweep")
-		recovery = flag.String("recovery", "excise", "fault-sweep recovery mode: excise or rollback")
-		asJSON   = flag.Bool("json", false, "emit figures as JSON instead of text tables")
-		workers  = flag.Int("j", runtime.NumCPU(), "worker pool width for independent simulations (1 = serial)")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		fig        = flag.Int("fig", 0, "figure to regenerate (4-11; 0 = all)")
+		quick      = flag.Bool("quick", false, "run a 3-benchmark subset")
+		progress   = flag.Bool("progress", false, "print each run as it completes")
+		ablation   = flag.Bool("ablations", false, "also run design-choice ablations")
+		whatif     = flag.Bool("whatif", false, "also run the §4.5 hardware-assist what-if analysis")
+		util       = flag.String("utilization", "", "print per-tile utilization for a benchmark (e.g. 176.gcc)")
+		multivm    = flag.Bool("multivm", false, "also run the §5 two-VM fabric-sharing experiment")
+		faultsw    = flag.Bool("faultsweep", false, "also run the graceful-degradation fault sweep")
+		recovery   = flag.String("recovery", "excise", "fault-sweep recovery mode: excise or rollback")
+		asJSON     = flag.Bool("json", false, "emit figures as JSON instead of text tables")
+		tracePath  = flag.String("trace", "", "instead of figures, write a Chrome trace_event JSON timeline of one default-config run to this file")
+		traceEvery = flag.Uint64("trace-interval", 0, "also sample hit rates and per-tile occupancy every N cycles into <trace>.csv (requires -trace)")
+		traceWl    = flag.String("trace-workload", "164.gzip", "workload for the -trace run")
+		workers    = flag.Int("j", runtime.NumCPU(), "worker pool width for independent simulations (1 = serial)")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -51,6 +56,10 @@ func main() {
 	recMode, err := core.ParseRecoveryMode(*recovery)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(2)
+	}
+	if *traceEvery != 0 && *tracePath == "" {
+		fmt.Fprintln(os.Stderr, "figures: -trace-interval requires -trace (the sampler writes next to the trace file)")
 		os.Exit(2)
 	}
 
@@ -79,6 +88,14 @@ func main() {
 				fmt.Fprintln(os.Stderr, "figures:", err)
 			}
 		}()
+	}
+
+	if *tracePath != "" {
+		if err := traceRun(*traceWl, *tracePath, *traceEvery); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	s := bench.NewSuite()
@@ -182,4 +199,50 @@ func main() {
 		}
 		fmt.Println(out)
 	}
+}
+
+// traceRun executes one default-config run of the named workload with
+// the virtual-time tracer attached and writes the Chrome trace JSON
+// (and, when interval sampling is on, the CSV time series next to it).
+func traceRun(wlName, path string, interval uint64) error {
+	p, ok := workload.ByName(wlName)
+	if !ok {
+		return fmt.Errorf("unknown workload %q (known: %v)", wlName, workload.Names())
+	}
+	trc := core.NewTracer(interval)
+	cfg := core.DefaultConfig()
+	cfg.Tracer = trc
+	res, err := core.Run(p.Build(), cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trc.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("trace     : %s (%d events, %d cycles)\n", path, trc.Len(), res.Cycles)
+	if !trc.Sampling() {
+		return nil
+	}
+	csvPath := strings.TrimSuffix(path, ".json") + ".csv"
+	cf, err := os.Create(csvPath)
+	if err != nil {
+		return err
+	}
+	if err := trc.WriteCSV(cf); err != nil {
+		cf.Close()
+		return err
+	}
+	if err := cf.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("samples   : %s (%d windows of %d cycles)\n", csvPath, trc.Windows(), interval)
+	return nil
 }

@@ -35,6 +35,7 @@ import (
 	"tilevm/internal/fault"
 	"tilevm/internal/guest"
 	"tilevm/internal/rawisa"
+	"tilevm/internal/trace"
 	"tilevm/internal/translate"
 	"tilevm/internal/workload"
 )
@@ -62,7 +63,9 @@ func main() {
 		diffPath   = flag.String("replay-diff", "", "replay a recorded run and bisect to the first divergent event")
 		verbose    = flag.Bool("v", false, "print detailed metrics")
 		dump       = flag.String("dump", "", "disassemble the translation of the block at this guest PC (hex; 'entry' for the entry point) and exit")
-		trace      = flag.Int("trace", 0, "log the first N dispatch-loop iterations to stderr")
+		tracePath  = flag.String("trace", "", "write a Chrome trace_event JSON timeline of the run to this file (load in Perfetto or chrome://tracing)")
+		traceEvery = flag.Uint64("trace-interval", 0, "also sample hit rates, queue depth, and per-tile occupancy every N cycles into <trace>.csv (requires -trace)")
+		dispTrace  = flag.Int("dispatch-trace", 0, "log the first N dispatch-loop iterations to stderr")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -97,6 +100,12 @@ func main() {
 	}
 	if replaying && (*imagePath != "" || *wlName != "" || *faultPlan != "" || *dump != "") {
 		die(fmt.Errorf("-replay/-replay-diff take the guest and fault plan from the record; drop -image/-workload/-fault-plan/-dump"))
+	}
+	if *traceEvery != 0 && *tracePath == "" {
+		die(fmt.Errorf("-trace-interval requires -trace (the sampler writes next to the trace file)"))
+	}
+	if *tracePath != "" && (replaying || *recordPath != "") {
+		die(fmt.Errorf("-trace conflicts with -record/-replay/-replay-diff (recorded runs are driven by the bench harness)"))
 	}
 
 	if *cpuProf != "" {
@@ -200,16 +209,67 @@ func main() {
 		cfg.Fault = plan
 		cfg.FaultRecovery = !*noRecover
 	}
-	if *trace > 0 {
-		cfg.Trace = os.Stderr
-		cfg.TraceLimit = *trace
+	if *dispTrace > 0 {
+		cfg.DispatchLog = os.Stderr
+		cfg.DispatchLogLimit = *dispTrace
+	}
+	var trc *trace.Tracer
+	if *tracePath != "" {
+		trc = core.NewTracer(*traceEvery)
+		cfg.Tracer = trc
 	}
 
 	res, err := core.Run(img, cfg)
+	// Write the trace even when the run failed: a timeline of a run that
+	// hit the watchdog or a guest fault is exactly when you want one.
+	if trc != nil {
+		if werr := writeTrace(trc, *tracePath); werr != nil {
+			die(werr)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "trace     : %s (%d events)\n", *tracePath, trc.Len())
+			if trc.Sampling() {
+				fmt.Fprintf(os.Stderr, "samples   : %s (%d windows)\n", csvPathFor(*tracePath), trc.Windows())
+			}
+		}
+	}
 	if err != nil {
 		die(err)
 	}
 	report(res, *verbose)
+}
+
+// writeTrace writes the Chrome trace JSON and, when interval sampling
+// is on, the CSV time series next to it (run.json → run.csv).
+func writeTrace(t *trace.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if !t.Sampling() {
+		return nil
+	}
+	cf, err := os.Create(csvPathFor(path))
+	if err != nil {
+		return err
+	}
+	if err := t.WriteCSV(cf); err != nil {
+		cf.Close()
+		return err
+	}
+	return cf.Close()
+}
+
+// csvPathFor derives the sampler CSV path from the trace path.
+func csvPathFor(path string) string {
+	return strings.TrimSuffix(path, ".json") + ".csv"
 }
 
 func die(err error) {

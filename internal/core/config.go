@@ -14,6 +14,7 @@ import (
 	"tilevm/internal/checkpoint"
 	"tilevm/internal/fault"
 	"tilevm/internal/raw"
+	"tilevm/internal/trace"
 )
 
 // RecoveryMode selects how the manager handles a dead worker whose
@@ -127,11 +128,25 @@ type Config struct {
 	// used by tests.
 	MaxBlockExecs uint64
 
-	// Trace, if non-nil, receives one line per dispatch-loop iteration
-	// (virtual cycle, guest PC, code-cache level that supplied the
-	// block), up to TraceLimit lines (0 = 1000).
-	Trace      io.Writer
-	TraceLimit int
+	// Tracer, if non-nil, records the run's virtual-time timeline (see
+	// internal/trace): spans and instants for block dispatch, the code
+	// cache hierarchy, the translation pipeline, the memory system, and
+	// morph/fault/rollback events, each attributed to its tile, plus
+	// interval samples when the tracer was built with a sample window
+	// (core.NewTracer). Tracing charges zero virtual cycles and uses
+	// only virtual timestamps, so a traced run is cycle-identical to an
+	// untraced one; with Tracer nil no tracing code path allocates.
+	// Under rollback recovery the tracer spans attempts: events from an
+	// aborted attempt stay on the timeline, so the rollback itself is
+	// visible.
+	Tracer *trace.Tracer
+
+	// DispatchLog, if non-nil, receives one line per dispatch-loop
+	// iteration (virtual cycle, guest PC, code-cache level that
+	// supplied the block), up to DispatchLogLimit lines (0 = 1000) —
+	// a lightweight text alternative to Tracer.
+	DispatchLog      io.Writer
+	DispatchLogLimit int
 }
 
 // DefaultConfig is the paper's headline configuration: 6 speculative

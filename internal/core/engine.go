@@ -174,6 +174,7 @@ func Run(img *guest.Image, cfg Config) (*Result, error) {
 		extra.recycled += rb.recycled
 		ck.Rearm()
 		cfg.Journal.Add(checkpoint.EvRollback, start, uint64(rb.tile), target)
+		cfg.Tracer.Instant(rb.tile, "rollback", start, "restore_to", target, "dead_tile", uint64(rb.tile))
 	}
 }
 
@@ -245,6 +246,8 @@ func runAttempt(img *guest.Image, cfg Config, ck *checkpoint.Checkpointer,
 	if start > 0 {
 		e.m.Sim.SetStart(start)
 	}
+	e.m.SetTracer(cfg.Tracer)
+	e.registerTraceProcs()
 
 	if !cfg.Fault.Empty() {
 		if err := validateFaultPlan(&pl, &cfg); err != nil {
@@ -254,9 +257,10 @@ func runAttempt(img *guest.Image, cfg Config, ck *checkpoint.Checkpointer,
 		e.m.Faults = e.inj
 		e.robust = cfg.FaultRecovery
 		e.bankOf = map[int]*dcache.Bank{}
-		if cfg.Journal != nil {
+		if cfg.Journal != nil || cfg.Tracer != nil {
 			e.inj.Observe = func(kind fault.Kind, tile int, now uint64) {
 				e.jadd(checkpoint.EvFault, now, uint64(kind), uint64(tile))
+				e.trc().Instant(tile, "fault", now, "kind", uint64(kind), "", 0)
 			}
 		}
 		// Dropped messages never enter a port queue, so the sender

@@ -35,11 +35,12 @@ func (e *engine) execKernel(c *raw.TileCtx) {
 	prog := &rawexec.Program{}
 	progFlushes := l1.Flushes
 	pc := e.proc.PC
-	traceLimit := e.cfg.TraceLimit
-	if traceLimit == 0 {
-		traceLimit = 1000
+	logLimit := e.cfg.DispatchLogLimit
+	if logLimit == 0 {
+		logLimit = 1000
 	}
-	traced := 0
+	logged := 0
+	trc := e.trc()
 
 	for {
 		// Checkpoint at the dispatch boundary: the one point where the
@@ -53,11 +54,14 @@ func (e *engine) execKernel(c *raw.TileCtx) {
 			e.capture(c, l1, env)
 		}
 		e.stats.BlockDispatches++
+		tDisp := c.Now()
 		c.Tick(P.DispatchOcc + P.L1LookupOcc)
 		source := "L1"
 		var patched []int
 		idx, ok := l1.Lookup(pc)
+		l1hit := uint64(1)
 		if !ok {
+			l1hit = 0
 			source = "L1.5/L2"
 			res := e.fetchBlock(c, pc)
 			if res == nil {
@@ -70,11 +74,15 @@ func (e *engine) execKernel(c *raw.TileCtx) {
 				uint64(st.Patches)*P.L1ChainPatchOcc)
 			patched = st.Patched
 		}
-		if e.cfg.Trace != nil && traced < traceLimit {
-			fmt.Fprintf(e.cfg.Trace, "%12d dispatch pc=%08x from=%s\n", c.Now(), pc, source)
-			traced++
-			if traced == traceLimit {
-				fmt.Fprintf(e.cfg.Trace, "... trace limit reached\n")
+		trc.Count(tsDispatches, tDisp, 1)
+		trc.Count(tsL1Lookups, tDisp, 1)
+		trc.Count(tsL1Hits, tDisp, l1hit)
+		trc.Span(c.Tile, "dispatch", tDisp, c.Now(), "pc", uint64(pc), "l1_hit", l1hit)
+		if e.cfg.DispatchLog != nil && logged < logLimit {
+			fmt.Fprintf(e.cfg.DispatchLog, "%12d dispatch pc=%08x from=%s\n", c.Now(), pc, source)
+			logged++
+			if logged == logLimit {
+				fmt.Fprintf(e.cfg.DispatchLog, "... dispatch log limit reached\n")
 			}
 		}
 		if l1.Flushes != progFlushes {
@@ -83,7 +91,9 @@ func (e *engine) execKernel(c *raw.TileCtx) {
 		}
 		prog.Repatch(l1.Arena(), patched)
 		prog.Sync(l1.Arena())
+		tExec := c.Now()
 		exit, err := prog.Exec(cpu, idx, tileClock{c}, env, 0)
+		trc.Span(c.Tile, "exec", tExec, c.Now(), "pc", uint64(pc), "insts", exit.Insts)
 		e.stats.HostInsts += exit.Insts
 		if err != nil {
 			e.execErr = fmt.Errorf("at guest block %#x: %w", pc, err)
@@ -182,6 +192,7 @@ func (e *engine) rpc(c *raw.TileCtx, send func(attempt int), match func(any) (an
 // the acknowledgments.
 func (e *engine) smcInvalidate(c *raw.TileCtx, env *execEnv, l1 *codecache.L1) {
 	e.stats.SMCInvalidations++
+	t0 := c.Now()
 	inval := smcInval{Lo: env.smcLo, Hi: env.smcHi}
 	if e.robust {
 		e.smcInvalRobust(c, inval)
@@ -200,6 +211,15 @@ func (e *engine) smcInvalidate(c *raw.TileCtx, env *execEnv, l1 *codecache.L1) {
 	}
 	l1.Flush()
 	env.smcPending = false
+	e.trc().Span(c.Tile, "smc_inval", t0, c.Now(), "lo", uint64(inval.Lo), "hi", uint64(inval.Hi))
+}
+
+// b2u converts a bool to a trace-arg scalar.
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // smcInvalRobust runs the invalidation handshake with per-target ack
@@ -249,6 +269,7 @@ func (e *engine) smcInvalRobust(c *raw.TileCtx, inval smcInval) {
 // number; a stale response for a different PC (possible only after a
 // retry) is discarded rather than treated as a protocol violation.
 func (e *engine) fetchBlock(c *raw.TileCtx, pc uint32) *translate.Result {
+	t0 := c.Now()
 	target := e.pl.manager
 	if n := len(e.pl.l15); n > 0 {
 		target = e.pl.l15[l15BankFor(pc, n)]
@@ -263,6 +284,7 @@ func (e *engine) fetchBlock(c *raw.TileCtx, pc uint32) *translate.Result {
 			}
 			return nil, false
 		})
+		e.trc().Span(c.Tile, "fetch", t0, c.Now(), "pc", uint64(pc), "", 0)
 		return out.(*translate.Result)
 	}
 	c.Send(target, codeReq{PC: pc, ReplyTo: e.pl.exec, FillBank: -1}, wordsCodeReq)
@@ -273,6 +295,7 @@ func (e *engine) fetchBlock(c *raw.TileCtx, pc uint32) *translate.Result {
 				e.execErr = fmt.Errorf("code response for %#x while waiting for %#x", r.PC, pc)
 				return nil
 			}
+			e.trc().Span(c.Tile, "fetch", t0, c.Now(), "pc", uint64(pc), "", 0)
 			return r.Res
 		}
 		// No other message types target a waiting execution tile.
@@ -329,9 +352,12 @@ func (v *execEnv) touch(addr uint32, write bool) bool {
 		v.c.Tick(P.GuestL1HitOcc)
 	}
 	res := v.dl1.Access(addr, write)
+	v.e.trc().Count(tsDL1Accesses, v.c.Now(), 1)
 	if res.Hit {
 		return true
 	}
+	v.e.trc().Count(tsDL1Misses, v.c.Now(), 1)
+	tMiss := v.c.Now()
 	if res.Writeback {
 		// Posted writeback of the dirty victim; no reply needed.
 		wb := v.e.pool.newReq()
@@ -363,6 +389,7 @@ func (v *execEnv) touch(addr uint32, write bool) bool {
 			v.e.pool.freeResp(r)
 			return nil, match
 		})
+		v.e.trc().Span(v.c.Tile, "memfill", tMiss, v.c.Now(), "addr", uint64(res.LineAddr), "", 0)
 		return false
 	}
 	rq := v.e.pool.newReq()
@@ -376,6 +403,7 @@ func (v *execEnv) touch(addr uint32, write bool) bool {
 		}
 		if r, ok := msg.Payload.(*memResp); ok && r.ID == id {
 			v.e.pool.freeResp(r)
+			v.e.trc().Span(v.c.Tile, "memfill", tMiss, v.c.Now(), "addr", uint64(res.LineAddr), "", 0)
 			return false
 		}
 	}
@@ -411,6 +439,7 @@ func (v *execEnv) GuestStore(addr uint32, val uint32, size uint8) {
 // replaying the cached response when a retry races a slow original.
 func (v *execEnv) Syscall(cpu *rawexec.CPU) {
 	v.e.stats.Syscalls++
+	tSys := v.c.Now()
 	var req sysReq
 	copy(req.Regs[:], cpu.R[:10])
 	if v.e.robust {
@@ -427,6 +456,7 @@ func (v *execEnv) Syscall(cpu *rawexec.CPU) {
 		r := out.(sysResp)
 		copy(cpu.R[1:10], r.Regs[1:10])
 		v.exited = r.Exited
+		v.e.trc().Span(v.c.Tile, "syscall", tSys, v.c.Now(), "exited", b2u(r.Exited), "", 0)
 		return
 	}
 	v.c.Send(v.e.pl.sys, req, wordsSys)
@@ -435,6 +465,7 @@ func (v *execEnv) Syscall(cpu *rawexec.CPU) {
 		if r, ok := msg.Payload.(sysResp); ok {
 			copy(cpu.R[1:10], r.Regs[1:10])
 			v.exited = r.Exited
+			v.e.trc().Span(v.c.Tile, "syscall", tSys, v.c.Now(), "exited", b2u(r.Exited), "", 0)
 			return
 		}
 	}
@@ -445,6 +476,7 @@ func (v *execEnv) Syscall(cpu *rawexec.CPU) {
 // normal guest-memory path so the cache and bank state stay truthful.
 func (v *execEnv) Assist(guestPC uint32, cpu *rawexec.CPU) error {
 	v.e.stats.Assists++
+	v.e.trc().Instant(v.c.Tile, "assist", v.c.Now(), "pc", uint64(guestPC), "", 0)
 	v.c.Tick(v.e.cfg.Params.AssistOcc)
 	cpu.StoreGuest(&v.e.proc.CPU)
 	v.e.proc.PC = guestPC

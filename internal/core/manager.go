@@ -255,12 +255,14 @@ func (st *managerState) excise(t int) {
 			// from the placement, and re-executes — losslessly.
 			st.e.rollback = &rollbackReq{tile: t, detect: st.c.Now()}
 			st.e.jadd(checkpoint.EvExcise, st.c.Now(), uint64(t), 1)
+			st.e.trc().Instant(st.c.Tile, "excise", st.c.Now(), "tile", uint64(t), "rollback", 1)
 			st.roles[t] = roleDead
 			st.c.Stop()
 			return
 		}
 	}
 	st.e.jadd(checkpoint.EvExcise, st.c.Now(), uint64(t), 0)
+	st.e.trc().Instant(st.c.Tile, "excise", st.c.Now(), "tile", uint64(t), "rollback", 0)
 	st.roles[t] = roleDead
 	st.e.stats.RoleRemaps++
 	st.c.Tick(P.RecoveryOcc)
@@ -361,16 +363,20 @@ func (st *managerState) entry(pc uint32) *qEntry {
 // an L1.5 bank forwarding one).
 func (st *managerState) handleCodeReq(m codeReq) {
 	P := st.e.cfg.Params
+	t0 := st.c.Now()
 	st.c.Tick(P.L2CLookupOcc)
 	if res, ok := st.l2.Lookup(m.PC); ok {
 		words := res.CodeBytes / 4
 		st.c.Tick(uint64(words) * P.L2CWordOcc) // DRAM read traffic
+		st.e.trc().Span(st.c.Tile, "l2c_lookup", t0, st.c.Now(), "pc", uint64(m.PC), "hit", 1)
 		st.respond(m, res)
 		delete(st.specStored, m.PC)
 		return
 	}
 	// Miss: the execution tile stalls until a slave translates it.
 	st.e.stats.DemandMisses++
+	st.e.trc().Count(tsDemandMisses, t0, 1)
+	st.e.trc().Span(st.c.Tile, "l2c_lookup", t0, st.c.Now(), "pc", uint64(m.PC), "hit", 0)
 	en := st.entry(m.PC)
 	if en.bad {
 		st.c.Send(m.ReplyTo, codeResp{PC: m.PC, Res: nil}, wordsCtl)
@@ -382,6 +388,7 @@ func (st *managerState) handleCodeReq(m codeReq) {
 	}
 	st.dispatch()
 	st.morphEval()
+	st.traceQueueDepth()
 }
 
 // respond delivers a block to the requester and fills the forwarding
@@ -414,6 +421,11 @@ func (st *managerState) push(pc uint32, depth int) {
 	en.depth = depth
 	en.queued = true
 	st.buckets[depth] = append(st.buckets[depth], pc)
+	// Guarded: queue-policy tests drive push without a tile context, so
+	// st.c is only touched when a tracer is actually attached.
+	if t := st.e.trc(); t != nil {
+		t.Instant(st.c.Tile, "enqueue", st.c.Now(), "pc", uint64(pc), "depth", uint64(depth))
+	}
 }
 
 // pop removes the most urgent queued translation.
@@ -497,6 +509,7 @@ func (st *managerState) dispatch() {
 			st.outstanding[slave] = outWork{pc: pc, depth: depth,
 				deadline: st.c.Now() + st.e.cfg.Params.WorkWatchdog}
 		}
+		st.e.trc().Instant(st.c.Tile, "assign", st.c.Now(), "pc", uint64(pc), "slave", uint64(slave))
 		st.c.Send(slave, st.workFor(pc, depth), wordsCtl)
 	}
 	if !st.e.lend || st.e.peerMgr < 0 {
@@ -555,10 +568,12 @@ func (st *managerState) handleTransDone(m transDone, from int) {
 	en := st.entry(m.PC)
 	en.inflight = false
 	st.e.stats.Translations++
+	st.e.trc().Count(tsTranslations, st.c.Now(), 1)
 	if st.staleSMC(m) {
 		// Translated from overwritten bytes: discard. A pending demand
 		// waiter re-queues at demand priority; speculative results are
 		// simply dropped.
+		st.e.trc().Instant(st.c.Tile, "trans_stale", st.c.Now(), "pc", uint64(m.PC), "", 0)
 		if _, waiting := st.waiters[m.PC]; waiting {
 			st.push(m.PC, 0)
 			st.dispatch()
@@ -567,6 +582,7 @@ func (st *managerState) handleTransDone(m transDone, from int) {
 	}
 	if m.Res == nil {
 		en.bad = true
+		st.e.trc().Instant(st.c.Tile, "untranslatable", st.c.Now(), "pc", uint64(m.PC), "", 0)
 		for _, w := range st.waiters[m.PC] {
 			st.c.Send(w.replyTo, codeResp{PC: m.PC, Res: nil, Seq: w.seq}, wordsCtl)
 		}
@@ -580,6 +596,7 @@ func (st *managerState) handleTransDone(m transDone, from int) {
 	st.c.Tick(P.L2CStoreOcc + uint64(words)*P.L2CWordOcc)
 	st.l2.Insert(m.PC, m.Res)
 	st.e.stats.L2CStores++
+	st.e.trc().Instant(st.c.Tile, "install", st.c.Now(), "pc", uint64(m.PC), "depth", uint64(m.Depth))
 	for pg := m.Res.GuestAddr >> 12; pg <= (m.Res.GuestAddr+m.Res.GuestLen-1)>>12; pg++ {
 		st.e.codePages[pg] = true
 	}
@@ -598,6 +615,7 @@ func (st *managerState) handleTransDone(m transDone, from int) {
 	}
 	st.dispatch()
 	st.morphEval()
+	st.traceQueueDepth()
 }
 
 // enqueueSuccessors implements speculative parallel translation's
@@ -643,13 +661,15 @@ func (st *managerState) morphEval() {
 	if now-st.lastMorph < cfg.MorphMinInterval {
 		return
 	}
-	wantTrans := st.queuedLen() > cfg.MorphThreshold
+	q := st.queuedLen()
+	wantTrans := q > cfg.MorphThreshold
 	if wantTrans == st.transHeavy {
 		return
 	}
 	st.transHeavy = wantTrans
 	st.lastMorph = now
 	st.e.stats.Reconfigs++
+	st.e.trc().Instant(st.c.Tile, "morph", now, "to_trans", b2u(wantTrans), "qlen", uint64(q))
 
 	newRole := roleBank
 	if wantTrans {

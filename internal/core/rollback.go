@@ -89,6 +89,7 @@ func (e *engine) capture(c *raw.TileCtx, l1 *codecache.L1, env *execEnv) {
 	}
 	e.ck.Capture(s, e.proc.Mem, c.Now())
 	e.jadd(checkpoint.EvCheckpoint, c.Now(), s.Seq, uint64(len(s.Mem.Pages)))
+	e.trc().Instant(c.Tile, "checkpoint", c.Now(), "seq", s.Seq, "pages", uint64(len(s.Mem.Pages)))
 }
 
 // applyRestore seeds a fresh engine from a snapshot, before any tile

@@ -59,21 +59,26 @@ func (e *engine) workerBody(initial roleKind) func(*raw.TileCtx) {
 				// Flush on every role change (and on rebank-triggered
 				// flushes of the permanent bank): the interleave
 				// function or the tile's function changed.
+				t0 := c.Now()
 				d := bank.Flush()
 				e.stats.MorphFlushLines += uint64(d)
 				c.Tick(P.MorphFixed + uint64(d)*P.MorphPerLine)
 				prev := role
 				role = m.Role
+				e.trc().Span(c.Tile, "morph_flush", t0, c.Now(), "lines", uint64(d), "to_slave", b2u(role == roleSlave))
 				if role == roleSlave && prev != roleSlave {
 					c.Send(e.pl.manager, workReq{}, wordsCtl)
 				}
 
 			case *memFwd:
+				t0 := c.Now()
 				c.Tick(P.BankLookupOcc)
 				e.stats.L2DRequests++
+				e.trc().Count(tsL2DRequests, t0, 1)
 				miss, wb := bank.Access(m.PAddr, m.Write)
 				if miss {
 					e.stats.L2DMisses++
+					e.trc().Count(tsL2DMisses, t0, 1)
 					c.Tick(P.DRAMLat + P.BankLineFill)
 					if e.inj != nil && e.inj.DRAMError(c.Tile, uint64(c.Now())) {
 						// Detected ECC error on the fill: retry the DRAM
@@ -84,6 +89,7 @@ func (e *engine) workerBody(initial roleKind) func(*raw.TileCtx) {
 				if wb {
 					c.Tick(P.BankLineFill)
 				}
+				e.trc().Span(c.Tile, "bank", t0, c.Now(), "addr", uint64(m.PAddr), "dram", b2u(miss))
 				if m.ReplyTo >= 0 {
 					r := e.pool.newResp()
 					r.ID = m.ID
@@ -105,9 +111,11 @@ func (e *engine) workerBody(initial roleKind) func(*raw.TileCtx) {
 // the modeled decode/IR/codegen occupancy, and reports the result.
 func (e *engine) doTranslate(c *raw.TileCtx, m work, replyTo int) {
 	P := e.cfg.Params
+	t0 := c.Now()
 	res, err := m.Translator.TranslateFinal(m.Mem, m.PC)
 	if err != nil {
 		c.Tick(P.TransBaseOcc)
+		e.trc().Span(c.Tile, "translate", t0, c.Now(), "pc", uint64(m.PC), "depth", uint64(m.Depth))
 		c.Send(replyTo, transDone{PC: m.PC, Depth: m.Depth, Gen: m.Gen, Res: nil}, wordsCtl)
 		return
 	}
@@ -116,6 +124,7 @@ func (e *engine) doTranslate(c *raw.TileCtx, m work, replyTo int) {
 		cost += uint64(res.NumGuest) * P.TransOptOcc
 	}
 	c.Tick(cost)
+	e.trc().Span(c.Tile, "translate", t0, c.Now(), "pc", uint64(m.PC), "depth", uint64(m.Depth))
 	c.Send(replyTo, transDone{PC: m.PC, Depth: m.Depth, Gen: m.Gen, Res: res}, res.CodeBytes/4)
 }
 
@@ -127,24 +136,32 @@ func (e *engine) l15Kernel(c *raw.TileCtx) {
 		msg := c.Recv()
 		switch m := msg.Payload.(type) {
 		case codeReq:
+			t0 := c.Now()
 			c.Tick(P.L15LookupOcc)
 			e.stats.L15Lookups++
+			e.trc().Count(tsL15Lookups, t0, 1)
 			if res, ok := bank.Lookup(m.PC); ok {
 				e.stats.L15Hits++
+				e.trc().Count(tsL15Hits, t0, 1)
 				words := res.CodeBytes / 4
 				c.Tick(uint64(words) * P.L15WordOcc)
+				e.trc().Span(c.Tile, "l15_lookup", t0, c.Now(), "pc", uint64(m.PC), "hit", 1)
 				c.Send(m.ReplyTo, codeResp{PC: m.PC, Res: res}, words)
 				continue
 			}
+			e.trc().Span(c.Tile, "l15_lookup", t0, c.Now(), "pc", uint64(m.PC), "hit", 0)
 			m.FillBank = c.Tile
 			c.Send(e.pl.manager, m, wordsCodeReq)
 		case fill:
+			t0 := c.Now()
 			c.Tick(uint64(m.Res.CodeBytes/4) * P.L15WordOcc)
 			bank.Insert(m.PC, m.Res)
+			e.trc().Span(c.Tile, "l15_fill", t0, c.Now(), "pc", uint64(m.PC), "", 0)
 		case smcInval:
 			// Coarse invalidation: drop the whole bank.
 			c.Tick(P.L15LookupOcc)
 			bank.Flush()
+			e.trc().Instant(c.Tile, "smc_flush", c.Now(), "", 0, "", 0)
 			c.Send(msg.From, smcAck{}, wordsCtl)
 		}
 	}
@@ -167,12 +184,15 @@ func (e *engine) mmuKernel(c *raw.TileCtx) {
 		msg := c.Recv()
 		switch req := msg.Payload.(type) {
 		case *memReq:
+			t0 := c.Now()
 			c.Tick(P.MMULookupOcc)
 			paddr, miss := m.Translate(req.Addr)
 			if miss {
 				c.Tick(P.TLBMissOcc)
 				e.stats.TLBMisses++
+				e.trc().Count(tsTLBMisses, t0, 1)
 			}
+			e.trc().Span(c.Tile, "mmu", t0, c.Now(), "addr", uint64(req.Addr), "tlb_miss", b2u(miss))
 			b := banks[dcache.BankFor(paddr, P.L2DLine, len(banks))]
 			local := dcache.LocalAddr(paddr, P.L2DLine, len(banks))
 			f := e.pool.newFwd()
@@ -181,6 +201,7 @@ func (e *engine) mmuKernel(c *raw.TileCtx) {
 			e.pool.freeReq(req)
 		case rebank:
 			banks = append(banks[:0], req.Banks...)
+			e.trc().Instant(c.Tile, "rebank", c.Now(), "gen", req.Gen, "banks", uint64(len(banks)))
 			if req.Gen > 0 {
 				c.Send(msg.From, rebankAck{Gen: req.Gen}, wordsCtl)
 			}
@@ -212,6 +233,7 @@ func (e *engine) sysKernel(c *raw.TileCtx) {
 				continue
 			}
 		}
+		t0 := c.Now()
 		c.Tick(P.SyscallOcc)
 		var regs [8]uint32
 		for i := 0; i < 8; i++ {
@@ -220,6 +242,7 @@ func (e *engine) sysKernel(c *raw.TileCtx) {
 		num := regs[0] // EAX: syscall number before the call, return value after
 		e.proc.Kern.Syscall(e.proc.Mem, &regs)
 		e.jadd(checkpoint.EvSyscall, uint64(c.Now()), uint64(num), uint64(regs[0]))
+		e.trc().Span(c.Tile, "sys", t0, c.Now(), "num", uint64(num), "ret", uint64(regs[0]))
 		var resp sysResp
 		resp.Regs = req.Regs
 		for i := 0; i < 8; i++ {

@@ -9,6 +9,7 @@ import (
 
 	"tilevm/internal/fault"
 	"tilevm/internal/sim"
+	"tilevm/internal/trace"
 )
 
 // Machine is one simulated Raw chip.
@@ -31,6 +32,11 @@ type Machine struct {
 	// messages, which stay aliased by the in-flight Corrupted wrapper
 	// until the receiver consumes it.
 	OnDrop func(payload any)
+
+	// trc mirrors Sim.Trace for the Tick/Advance hot path (one field
+	// load instead of two). Set through SetTracer; nil means tracing
+	// off, and every emission below is guarded by a nil test.
+	trc *trace.Tracer
 }
 
 // Corrupted wraps a payload mangled in flight. The model is a detected
@@ -57,6 +63,18 @@ func NewMachine(p Params) *Machine {
 
 // Inbox returns tile id's message port.
 func (m *Machine) Inbox(id int) *sim.Port { return m.inbox[id] }
+
+// SetTracer installs a virtual-time tracer on the machine and its
+// simulation kernel. Tile busy cycles accrued through Tick/Advance
+// feed the tracer's interval sampler (per-tile occupancy per window).
+// Safe to call with nil (tracing off, the default).
+func (m *Machine) SetTracer(t *trace.Tracer) {
+	m.trc = t
+	m.Sim.Trace = t
+}
+
+// Tracer returns the machine's trace sink (nil when tracing is off).
+func (m *Machine) Tracer() *trace.Tracer { return m.trc }
 
 // SpawnTile registers a kernel process for a tile. The body receives a
 // TileCtx bound to the tile's inbox and grid position.
@@ -140,15 +158,23 @@ func (c *TileCtx) RecvDeadline(deadline sim.Time) (sim.Msg, bool) {
 func (c *TileCtx) Now() sim.Time { return c.P.Now() }
 
 // Tick accrues local busy cycles (counted toward the tile's
-// utilization).
+// utilization). With a tracer installed the cycles also feed the
+// per-tile occupancy sampler, attributed to the window containing the
+// tile's current local time.
 func (c *TileCtx) Tick(d uint64) {
 	c.M.busy[c.Tile] += d
+	if c.M.trc != nil {
+		c.M.trc.Busy(c.Tile, c.P.Now(), d)
+	}
 	c.P.Tick(d)
 }
 
 // Advance accrues d cycles and yields to the scheduler.
 func (c *TileCtx) Advance(d uint64) {
 	c.M.busy[c.Tile] += d
+	if c.M.trc != nil {
+		c.M.trc.Busy(c.Tile, c.P.Now(), d)
+	}
 	c.P.Advance(d)
 }
 

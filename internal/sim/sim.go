@@ -16,6 +16,8 @@ package sim
 import (
 	"fmt"
 	"strings"
+
+	"tilevm/internal/trace"
 )
 
 // Time is a point in virtual time, in cycles.
@@ -141,6 +143,15 @@ type Simulator struct {
 	limit    Time // 0 means no limit
 	started  bool
 	abortErr error // fatal error raised from inside a process
+
+	// Trace, if non-nil, is the run's virtual-time event sink (see
+	// internal/trace). The kernel itself stays off the timeline — it
+	// only carries the sink so the machine layers above (which know
+	// what a process *is*: a tile) can emit spans without a side
+	// channel. Exactly one process runs at a time, so emission needs
+	// no locking. All trace timestamps are virtual; the tracer adds
+	// zero virtual cycles and, when nil, zero cost.
+	Trace *trace.Tracer
 }
 
 // BlockedProc is one entry of a DeadlockError: a process stuck in Recv
@@ -407,6 +418,10 @@ func (p *Proc) abort(err error) {
 	p.sim.stopped = true
 	panic(errKilled{})
 }
+
+// Tracer returns the simulator's trace sink (nil when tracing is off;
+// every trace emission method is a no-op on nil).
+func (p *Proc) Tracer() *trace.Tracer { return p.sim.Trace }
 
 // ID returns the process id (spawn order).
 func (p *Proc) ID() int { return p.id }

@@ -1,0 +1,85 @@
+// Command linkcheck verifies relative links in markdown files: every
+// [text](target) whose target is not an external URL or a pure anchor
+// must name a file or directory that exists, resolved against the
+// containing file. Arguments are markdown files or directories (walked
+// for *.md). Exits non-zero listing each broken link.
+//
+//	linkcheck README.md docs
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links; images share the syntax with a
+// leading ! and are checked the same way.
+var linkRe = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: linkcheck <file.md|dir>...")
+		os.Exit(2)
+	}
+	var files []string
+	for _, arg := range os.Args[1:] {
+		st, err := os.Stat(arg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "linkcheck:", err)
+			os.Exit(1)
+		}
+		if !st.IsDir() {
+			files = append(files, arg)
+			continue
+		}
+		err = filepath.WalkDir(arg, func(p string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(p, ".md") {
+				files = append(files, p)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "linkcheck:", err)
+			os.Exit(1)
+		}
+	}
+
+	broken, checked := 0, 0
+	for _, file := range files {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "linkcheck:", err)
+			os.Exit(1)
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(string(raw), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external; reachability is not checked offline
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue // same-file anchor
+			}
+			checked++
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				fmt.Fprintf(os.Stderr, "linkcheck: %s: broken link %q (%s)\n", file, m[1], resolved)
+				broken++
+			}
+		}
+	}
+	fmt.Printf("linkcheck: %d files, %d relative links checked, %d broken\n",
+		len(files), checked, broken)
+	if broken > 0 {
+		os.Exit(1)
+	}
+}

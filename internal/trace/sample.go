@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Sampler aggregates counters into fixed-width virtual-time windows:
+// accumulating count series (events per window), per-tile busy cycles
+// (occupancy), and max-valued gauges (queue depths). Windows are dense
+// from cycle 0, so the CSV rows form a regular time series even across
+// quiet stretches.
+type Sampler struct {
+	interval uint64
+	tiles    int
+	counts   []string
+	gauges   []string
+	ratios   []Ratio
+	rows     []sampleRow
+}
+
+// sampleRow is one window's aggregates: counts, then gauges, then
+// per-tile busy cycles, laid out contiguously.
+type sampleRow []uint64
+
+func newSampler(o Options) *Sampler {
+	return &Sampler{
+		interval: o.SampleInterval,
+		tiles:    o.Tiles,
+		counts:   o.Counts,
+		gauges:   o.Gauges,
+		ratios:   o.Ratios,
+	}
+}
+
+// row returns the window row containing ts, growing the dense window
+// list as needed.
+func (s *Sampler) row(ts uint64) sampleRow {
+	w := int(ts / s.interval)
+	for len(s.rows) <= w {
+		s.rows = append(s.rows, make(sampleRow, len(s.counts)+len(s.gauges)+s.tiles))
+	}
+	return s.rows[w]
+}
+
+func (s *Sampler) count(series int, ts, n uint64) {
+	s.row(ts)[series] += n
+}
+
+func (s *Sampler) gauge(series int, ts, v uint64) {
+	r := s.row(ts)
+	if i := len(s.counts) + series; v > r[i] {
+		r[i] = v
+	}
+}
+
+func (s *Sampler) busy(tile int, ts, d uint64) {
+	s.row(ts)[len(s.counts)+len(s.gauges)+tile] += d
+}
+
+// CountTotal sums a count series over all windows — by construction
+// equal to the matching end-of-run counter, which the tests pin.
+func (t *Tracer) CountTotal(series int) uint64 {
+	if t == nil || t.s == nil {
+		return 0
+	}
+	var sum uint64
+	for _, r := range t.s.rows {
+		sum += r[series]
+	}
+	return sum
+}
+
+// BusyTotal sums a tile's sampled busy cycles over all windows.
+func (t *Tracer) BusyTotal(tile int) uint64 {
+	if t == nil || t.s == nil {
+		return 0
+	}
+	var sum uint64
+	for _, r := range t.s.rows {
+		sum += r[len(t.s.counts)+len(t.s.gauges)+tile]
+	}
+	return sum
+}
+
+// Windows returns the number of sample windows recorded.
+func (t *Tracer) Windows() int {
+	if t == nil || t.s == nil {
+		return 0
+	}
+	return len(t.s.rows)
+}
+
+// WriteCSV writes the interval samples: one row per window, columns
+// window_start, every count series, every ratio (num/den within the
+// window, 0 when the denominator is 0), every gauge (window max), and
+// per-tile occupancy percentages (busy cycles / window width). Output
+// is byte-identical across identical runs.
+func (t *Tracer) WriteCSV(w io.Writer) error {
+	if t == nil || t.s == nil {
+		return fmt.Errorf("trace: interval sampling not enabled (SampleInterval == 0)")
+	}
+	s := t.s
+	bw := bufio.NewWriter(w)
+	bw.WriteString("window_start")
+	for _, name := range s.counts {
+		bw.WriteByte(',')
+		bw.WriteString(name)
+	}
+	for _, r := range s.ratios {
+		bw.WriteByte(',')
+		bw.WriteString(r.Name)
+	}
+	for _, name := range s.gauges {
+		bw.WriteByte(',')
+		bw.WriteString(name)
+	}
+	for tile := 0; tile < s.tiles; tile++ {
+		fmt.Fprintf(bw, ",tile%d_occ_pct", tile)
+	}
+	bw.WriteByte('\n')
+
+	var buf [24]byte
+	for w, r := range s.rows {
+		bw.Write(strconv.AppendUint(buf[:0], uint64(w)*s.interval, 10))
+		for i := range s.counts {
+			bw.WriteByte(',')
+			bw.Write(strconv.AppendUint(buf[:0], r[i], 10))
+		}
+		for _, ra := range s.ratios {
+			bw.WriteByte(',')
+			if den := r[ra.Den]; den > 0 {
+				bw.Write(strconv.AppendFloat(buf[:0], float64(r[ra.Num])/float64(den), 'f', 4, 64))
+			} else {
+				bw.WriteByte('0')
+			}
+		}
+		for i := range s.gauges {
+			bw.WriteByte(',')
+			bw.Write(strconv.AppendUint(buf[:0], r[len(s.counts)+i], 10))
+		}
+		for tile := 0; tile < s.tiles; tile++ {
+			busy := r[len(s.counts)+len(s.gauges)+tile]
+			bw.WriteByte(',')
+			bw.Write(strconv.AppendFloat(buf[:0], 100*float64(busy)/float64(s.interval), 'f', 2, 64))
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
