@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race racepar bench fuzz fuzz-smoke replay-smoke trace-smoke linkcheck
+.PHONY: check vet build test race racepar race-fleet cover-fleet bench bench-check fuzz fuzz-smoke replay-smoke trace-smoke fleet-smoke linkcheck
 
 # The full gate: what CI (and a pre-commit) should run.
 check: vet build test racepar
@@ -27,6 +27,22 @@ race:
 racepar:
 	$(GO) test -race -short -run TestParallelDeterminism ./internal/bench
 
+# Fleet scheduler under the race detector: the N-guest placement,
+# admission, vmSwitch handoff, and fleet-wide lending tests, plus the
+# invariance battery, on core and bench.
+race-fleet:
+	$(GO) test -race -run 'TestFleet|TestCarve|TestMultiVM|TestPairMatches|TestRunFleet' ./internal/core
+	$(GO) test -race -run TestFleetSweepQuick ./internal/bench
+
+# Coverage summary for the fleet/placement layer (the code this PR's
+# test battery is aimed at).
+cover-fleet:
+	$(GO) test -run 'TestFleet|TestCarve|TestMultiVM|TestPairMatches|TestRunFleet|FuzzCarveFabric' \
+	  -coverprofile=/tmp/tilevm-fleet-cover.out ./internal/core
+	$(GO) tool cover -func=/tmp/tilevm-fleet-cover.out | \
+	  grep -E 'fleet\.go|placement\.go|multivm\.go|total:'
+	rm -f /tmp/tilevm-fleet-cover.out
+
 # Perf trajectory: the microbenchmarks in bench_test.go plus the
 # end-to-end figure-suite timing, and a machine-readable snapshot of
 # the same numbers in BENCH_sim.json via cmd/simbench.
@@ -36,16 +52,24 @@ bench:
 	$(GO) test -run - -bench BenchmarkInnerLoop -benchmem ./internal/rawexec
 	$(GO) run ./cmd/simbench -o BENCH_sim.json
 
+# Perf-regression gate: re-measure the headline benchmarks and fail if
+# they regress beyond tolerance of the recorded BENCH_sim.json
+# trajectory (generous tolerances — see internal/tools/benchcheck).
+bench-check:
+	$(GO) run ./internal/tools/benchcheck
+
 fuzz:
 	$(GO) test ./internal/x86 -fuzz FuzzDecode -fuzztime 30s
 	$(GO) test ./internal/checkpoint -run - -fuzz FuzzCheckpointDecode -fuzztime 30s
 	$(GO) test ./internal/checkpoint -run - -fuzz FuzzRecordDecode -fuzztime 30s
+	$(GO) test ./internal/core -run - -fuzz FuzzCarveFabric -fuzztime 30s
 
 # Quick fuzz pass for CI: enough to catch a codec regression, short
 # enough to run on every push.
 fuzz-smoke:
 	$(GO) test ./internal/checkpoint -run - -fuzz FuzzCheckpointDecode -fuzztime 10s
 	$(GO) test ./internal/checkpoint -run - -fuzz FuzzRecordDecode -fuzztime 10s
+	$(GO) test ./internal/core -run - -fuzz FuzzCarveFabric -fuzztime 10s
 
 # End-to-end record/replay smoke: record a faulted rollback run, then
 # verify a full replay reproduces it bit for bit (tilevm exits non-zero
@@ -66,6 +90,11 @@ trace-smoke:
 	$(GO) run ./internal/tools/tracecheck \
 	  /tmp/tilevm-trace-smoke.json /tmp/tilevm-trace-smoke.csv
 	rm -f /tmp/tilevm-trace-smoke.json /tmp/tilevm-trace-smoke.csv
+
+# End-to-end fleet smoke: four guests on an 8×8 fabric through the CLI,
+# exercising carving, admission, and the fleet report.
+fleet-smoke:
+	$(GO) run ./cmd/tilevm -guests 164.gzip,181.mcf,164.gzip,181.mcf -grid 8x8
 
 # Verify that every relative link in the markdown docs points at a file
 # that exists.

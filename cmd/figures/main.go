@@ -31,6 +31,7 @@ func main() {
 		whatif     = flag.Bool("whatif", false, "also run the §4.5 hardware-assist what-if analysis")
 		util       = flag.String("utilization", "", "print per-tile utilization for a benchmark (e.g. 176.gcc)")
 		multivm    = flag.Bool("multivm", false, "also run the §5 two-VM fabric-sharing experiment")
+		fleet      = flag.Bool("fleet", false, "also run the N-guest fleet scheduler sweep (4x4 and 8x8 fabrics)")
 		faultsw    = flag.Bool("faultsweep", false, "also run the graceful-degradation fault sweep")
 		recovery   = flag.String("recovery", "excise", "fault-sweep recovery mode: excise or rollback")
 		asJSON     = flag.Bool("json", false, "emit figures as JSON instead of text tables")
@@ -177,6 +178,14 @@ func main() {
 	}
 	if *multivm {
 		out, err := s.MultiVM()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+	if *fleet {
+		out, err := s.FleetSweep()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "figures:", err)
 			os.Exit(1)

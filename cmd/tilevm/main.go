@@ -18,6 +18,14 @@
 //	tilevm -replay run.tvrc
 //	tilevm -replay run.tvrc -replay-to-cycle 500000
 //	tilevm -replay-diff run.tvrc
+//
+// Fleet mode runs N guests as virtual machines sharing one fabric,
+// carving the grid into 8-tile VM slots, queueing guests beyond the
+// slot count, and (with -lend) lending idle translation slaves to the
+// most backed-up VM:
+//
+//	tilevm -guests 164.gzip,181.mcf,176.gcc,164.gzip -grid 8x8
+//	tilevm -guests 164.gzip,181.mcf -lend=false -v
 package main
 
 import (
@@ -44,6 +52,9 @@ func main() {
 	var (
 		imagePath  = flag.String("image", "", "TVMI or ELF32 guest image to run")
 		wlName     = flag.String("workload", "", "named synthetic workload (e.g. 176.gcc)")
+		guests     = flag.String("guests", "", "comma-separated workload names to run as a fleet of VMs (e.g. 164.gzip,181.mcf)")
+		grid       = flag.String("grid", "4x4", "fabric size WxH for fleet mode (requires -guests)")
+		lendFlag   = flag.Bool("lend", true, "fleet mode: lend idle translation slaves to the most backed-up VM")
 		slaves     = flag.Int("slaves", 6, "translation slave tiles (1-9)")
 		spec       = flag.Bool("speculate", true, "speculative parallel translation")
 		l15        = flag.Int("l15", 2, "L1.5 code cache banks (0-2)")
@@ -108,6 +119,52 @@ func main() {
 		die(fmt.Errorf("-trace conflicts with -record/-replay/-replay-diff (recorded runs are driven by the bench harness)"))
 	}
 
+	// Fleet mode: validate the whole invocation — flag conflicts, the
+	// grid shape, whether the fabric fits any VM slot, and every guest
+	// name — before building a single guest image.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if (set["grid"] || set["lend"]) && *guests == "" {
+		die(fmt.Errorf("-grid/-lend require -guests (fleet mode)"))
+	}
+	var fleetNames []string
+	var fleetSlots int
+	fleetCfg := core.DefaultConfig()
+	if *guests != "" {
+		for _, conflict := range []string{
+			"image", "workload", "slaves", "l15", "membanks", "morph", "threshold",
+			"fault-plan", "fault-seed", "fault-norecover", "recovery",
+			"checkpoint-interval", "record", "replay", "replay-diff", "dump",
+			"dispatch-trace",
+		} {
+			if set[conflict] {
+				die(fmt.Errorf("-%s does not apply in fleet mode (per-VM resources are fixed by the 8-tile slot shape)", conflict))
+			}
+		}
+		w, h, err := parseGrid(*grid)
+		if err != nil {
+			die(err)
+		}
+		fleetCfg.Params.Width, fleetCfg.Params.Height = w, h
+		fleetCfg.Optimize = *optimize
+		fleetCfg.ConservativeFlags = !*optimize
+		fleetCfg.Speculative = *spec
+		if *maxCycles != 0 {
+			fleetCfg.MaxCycles = *maxCycles
+		}
+		fleetSlots, err = core.FleetSlots(fleetCfg.Params)
+		if err != nil {
+			die(err)
+		}
+		for _, n := range strings.Split(*guests, ",") {
+			n = strings.TrimSpace(n)
+			if _, ok := workload.ByName(n); !ok {
+				die(fmt.Errorf("unknown workload %q (known: %v)", n, workload.Names()))
+			}
+			fleetNames = append(fleetNames, n)
+		}
+	}
+
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
 		if err != nil {
@@ -141,6 +198,33 @@ func main() {
 		if err := replay(path, *replayTo, bisect); err != nil {
 			die(err)
 		}
+		return
+	}
+
+	if *guests != "" {
+		imgs := make([]*guest.Image, len(fleetNames))
+		for i, n := range fleetNames {
+			p, _ := workload.ByName(n) // validated above
+			imgs[i] = p.Build()
+		}
+		var trc *trace.Tracer
+		if *tracePath != "" {
+			trc = core.NewTracerFor(fleetCfg.Params, *traceEvery)
+			fleetCfg.Tracer = trc
+		}
+		res, err := core.RunFleet(imgs, fleetCfg, core.FleetConfig{Lend: *lendFlag})
+		if trc != nil && res != nil {
+			if werr := writeTrace(trc, *tracePath); werr != nil {
+				die(werr)
+			}
+			if *verbose {
+				fmt.Fprintf(os.Stderr, "trace     : %s (%d events)\n", *tracePath, trc.Len())
+			}
+		}
+		if err != nil {
+			die(err)
+		}
+		reportFleet(res, fleetNames, fleetSlots, *verbose)
 		return
 	}
 
@@ -270,6 +354,45 @@ func writeTrace(t *trace.Tracer, path string) error {
 // csvPathFor derives the sampler CSV path from the trace path.
 func csvPathFor(path string) string {
 	return strings.TrimSuffix(path, ".json") + ".csv"
+}
+
+// parseGrid parses a WxH fabric size like "8x8".
+func parseGrid(s string) (w, h int, err error) {
+	parts := strings.Split(strings.ToLower(s), "x")
+	if len(parts) == 2 {
+		w, errW := strconv.Atoi(parts[0])
+		h, errH := strconv.Atoi(parts[1])
+		if errW == nil && errH == nil {
+			return w, h, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("bad -grid %q, want WxH (e.g. 8x8)", s)
+}
+
+// reportFleet prints the fleet run outcome: one line per guest in
+// admission order, then the fleet totals. capacity is how many slots
+// the fabric could carve (res.Slots is capped at the guest count).
+// With -v each guest's stdout follows, labeled.
+func reportFleet(res *core.FleetResult, names []string, capacity int, verbose bool) {
+	for gi, g := range res.Guests {
+		if g.Result == nil {
+			fmt.Printf("guest %-2d  : %-12s never admitted\n", gi, names[gi])
+			continue
+		}
+		fmt.Printf("guest %-2d  : %-12s slot %d  admitted %12d  finished %12d  exit %d\n",
+			gi, names[gi], g.Slot, g.Admitted, g.Finished, g.ExitCode)
+	}
+	fmt.Printf("fleet     : %d guests on %d slots (fabric fits %d), makespan %d cycles, utilization %.1f%%\n",
+		len(res.Guests), res.Slots, capacity, res.Makespan, 100*res.Utilization)
+	if !verbose {
+		return
+	}
+	for gi, g := range res.Guests {
+		if g.Result == nil || g.Stdout == "" {
+			continue
+		}
+		fmt.Printf("--- guest %d (%s) stdout ---\n%s", gi, names[gi], g.Stdout)
+	}
 }
 
 func die(err error) {

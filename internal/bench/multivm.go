@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"tilevm/internal/core"
+	"tilevm/internal/guest"
 	"tilevm/internal/workload"
 )
 
@@ -42,6 +43,59 @@ func (s *Suite) MultiVM() (string, error) {
 			fmt.Fprintf(&b, "%-24s %-10s %14d %14d %14d %12d\n",
 				pr[0]+" + "+pr[1], mode,
 				res.A.Cycles, res.B.Cycles, res.Makespan, res.B.M.DemandMisses)
+		}
+	}
+	return b.String(), nil
+}
+
+// fleetRotation is the workload mix FleetSweep admits, repeated as
+// needed to reach the requested guest count.
+var fleetRotation = []string{"164.gzip", "181.mcf", "176.gcc", "164.gzip"}
+
+// FleetSweep measures the N-guest fleet scheduler: guest counts from
+// pair-sized to oversubscribed, on the default 4×4 fabric (2 VM slots)
+// and an 8×8 fabric (8 slots), with lending off and on. For each point
+// it reports the carved slot count, the makespan, mean guest
+// turnaround (finish − admission, averaged), and fabric utilization —
+// the numbers behind the fleet-utilization table in EXPERIMENTS.md.
+func (s *Suite) FleetSweep() (string, error) {
+	rotation := fleetRotation
+	counts := []int{2, 4, 8}
+	if s.Quick {
+		rotation = []string{"164.gzip", "181.mcf"}
+		counts = []int{2, 4}
+	}
+	grids := [][2]int{{4, 4}, {8, 8}}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fleet — N virtual x86 processors sharing one fabric (§5 at scale)\n")
+	fmt.Fprintf(&b, "%-8s %7s %6s %-8s %14s %16s %12s\n",
+		"grid", "guests", "slots", "lending", "makespan", "mean turnaround", "utilization")
+	for _, g := range grids {
+		for _, n := range counts {
+			imgs := make([]*guest.Image, n)
+			for i := range imgs {
+				imgs[i] = s.image(rotation[i%len(rotation)])
+			}
+			for _, lend := range []bool{false, true} {
+				cfg := core.DefaultConfig()
+				cfg.Params.Width, cfg.Params.Height = g[0], g[1]
+				res, err := core.RunFleet(imgs, cfg, core.FleetConfig{Lend: lend})
+				if err != nil {
+					return "", fmt.Errorf("fleet %dx%d n=%d lend=%v: %w", g[0], g[1], n, lend, err)
+				}
+				var turnaround uint64
+				for _, gr := range res.Guests {
+					turnaround += gr.Finished - gr.Admitted
+				}
+				mode := "off"
+				if lend {
+					mode = "on"
+				}
+				fmt.Fprintf(&b, "%-8s %7d %6d %-8s %14d %16d %11.1f%%\n",
+					fmt.Sprintf("%dx%d", g[0], g[1]), n, res.Slots, mode,
+					res.Makespan, turnaround/uint64(n), 100*res.Utilization)
+			}
 		}
 	}
 	return b.String(), nil

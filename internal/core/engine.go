@@ -47,10 +47,15 @@ type engine struct {
 	// onExit, when set, replaces the default Stop() at guest exit
 	// (multi-VM coordination).
 	onExit func(*raw.TileCtx)
-	// peerMgr is the other VM's manager tile in multi-VM mode (-1 when
-	// single-VM); lend enables cross-VM slave lending.
-	peerMgr int
+	// peers lists the other VMs' manager tiles in fleet mode (empty when
+	// single-VM); lend enables cross-VM slave lending. homeMgr maps
+	// every fleet slave tile to its home manager so a draining manager
+	// can send borrowed slaves back where they belong; vmLabel tags this
+	// engine's trace rows with its guest index.
+	peers   []int
 	lend    bool
+	homeMgr map[int]int
+	vmLabel string
 
 	// Self-modifying-code tracking (single-threaded in virtual time,
 	// shared between the execution tile's detector and the manager's
@@ -228,11 +233,10 @@ func runAttempt(img *guest.Image, cfg Config, ck *checkpoint.Checkpointer,
 	}
 
 	e := &engine{
-		cfg:     cfg,
-		pl:      pl,
-		m:       raw.NewMachine(cfg.Params),
-		peerMgr: -1,
-		proc:    guest.Load(img),
+		cfg:  cfg,
+		pl:   pl,
+		m:    raw.NewMachine(cfg.Params),
+		proc: guest.Load(img),
 		tr: translate.New(translate.Options{
 			Optimize:          cfg.Optimize,
 			ConservativeFlags: cfg.ConservativeFlags,

@@ -1,0 +1,358 @@
+package core
+
+import (
+	"fmt"
+
+	"tilevm/internal/checkpoint"
+	"tilevm/internal/guest"
+	"tilevm/internal/raw"
+	"tilevm/internal/translate"
+)
+
+// Fleet mode realizes the paper's §5 vision at scale: "a large tiled
+// fabric running many virtual x86's all at the same time". The fabric
+// is carved into complete 8-tile VM slots (placement.go); N guest
+// images are admitted to the slots in order, queueing when N exceeds
+// the slot count, and a slot whose guest exits is handed the next
+// queued guest. With lending enabled, a manager whose translation
+// queues are empty offers idle slaves to whichever VM fleet-wide
+// reported the most backed-up queue.
+//
+// Admission reuses the running tile kernels rather than spawning new
+// ones (the simulator forbids spawning after Run starts): every
+// service kernel is wrapped in a loop re-binding it to the slot's
+// current engine, and the exec tile coordinates the epoch change with
+// a two-phase vmSwitch handshake — first the manager drains its
+// in-flight translations, then the remaining service tiles flush and
+// ack — so no state or message of a finished guest can leak into its
+// successor.
+
+// FleetConfig selects fleet-level policy knobs.
+type FleetConfig struct {
+	// Lend enables cross-VM slave lending: a manager with parked slaves
+	// and empty queues grants one to the most-backed-up requesting peer.
+	Lend bool
+	// MaxSlots caps the number of carved VM slots (0 = as many slots as
+	// fit the fabric, never more than the number of guests).
+	MaxSlots int
+}
+
+// GuestResult is one guest's outcome within a fleet run.
+type GuestResult struct {
+	// Result is nil only when the simulation aborted before the guest
+	// was admitted to a slot.
+	*Result
+	// Slot is the VM slot index the guest ran in (-1 if never admitted).
+	Slot int
+	// Admitted and Finished are the virtual cycles at which the guest
+	// was bound to its slot and at which it exited. The first S guests
+	// start at cycle 0; queued guests are admitted when a slot frees.
+	Admitted uint64
+	Finished uint64
+}
+
+// FleetResult is the outcome of a fleet run.
+type FleetResult struct {
+	// Guests is index-aligned with the imgs argument of RunFleet.
+	Guests []*GuestResult
+	// Slots is the number of VM slots carved from the fabric.
+	Slots int
+	// Makespan is the virtual time at which the last guest finished.
+	Makespan uint64
+	// TileBusy is the shared fabric's per-tile busy counters.
+	TileBusy []uint64
+	// Utilization is sum(TileBusy) / (tiles × Makespan).
+	Utilization float64
+}
+
+// slotHost is a slot's mutable binding to its current guest engine;
+// the wrapped tile kernels re-read it after every vmSwitch epoch.
+type slotHost struct {
+	cur   *engine
+	guest int
+}
+
+// fleetRun is the host-side fleet scheduler state. The discrete-event
+// simulator runs one tile kernel at a time, so it needs no locking.
+type fleetRun struct {
+	cfg   Config
+	fc    FleetConfig
+	m     *raw.Machine
+	imgs  []*guest.Image
+	slots []placement
+	hosts []*slotHost
+
+	// peers[si] is the other slots' manager tiles; homeMgr maps each
+	// slave tile to its home manager (for returning borrowed slaves).
+	peers   [][]int
+	homeMgr map[int]int
+
+	// Per-guest bookkeeping, index-aligned with imgs.
+	engines  []*engine
+	slotOf   []int
+	admitted []uint64
+	finished []uint64
+
+	next      int // next guest index awaiting admission
+	remaining int // guests not yet exited; 0 stops the simulation
+}
+
+// RunFleet executes N guests as a fleet of virtual machines sharing
+// one fabric. cfg supplies timing parameters, the fabric size
+// (cfg.Params.Width×Height), and translator options; per-VM tile
+// counts are fixed by the slot shape. Results are deterministic:
+// repeated runs are byte-identical, and each guest's final state hash
+// equals its solo-run hash regardless of slot assignment or lending.
+func RunFleet(imgs []*guest.Image, cfg Config, fc FleetConfig) (*FleetResult, error) {
+	if len(imgs) == 0 {
+		return nil, fmt.Errorf("core: fleet mode needs at least one guest")
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 20_000_000_000
+	}
+	if cfg.Morph {
+		return nil, fmt.Errorf("core: intra-VM morphing and fleet mode are mutually exclusive")
+	}
+	if !cfg.Fault.Empty() {
+		return nil, fmt.Errorf("core: fault injection is not supported in fleet mode")
+	}
+	if cfg.Recovery == RecoverRollback || cfg.CheckpointInterval > 0 {
+		return nil, fmt.Errorf("core: checkpoint/rollback recovery is not supported in fleet mode")
+	}
+	if cfg.Journal != nil {
+		return nil, fmt.Errorf("core: record-replay is not supported in fleet mode")
+	}
+	slots, err := carveFabric(cfg.Params, 0)
+	if err != nil {
+		return nil, err
+	}
+	if fc.MaxSlots > 0 {
+		if fc.MaxSlots > len(slots) {
+			return nil, fmt.Errorf("core: %d VM slots requested but the %d×%d fabric fits only %d",
+				fc.MaxSlots, cfg.Params.Width, cfg.Params.Height, len(slots))
+		}
+		slots = slots[:fc.MaxSlots]
+	}
+	if len(slots) > len(imgs) {
+		slots = slots[:len(imgs)]
+	}
+
+	fl := &fleetRun{
+		cfg:       cfg,
+		fc:        fc,
+		m:         raw.NewMachine(cfg.Params),
+		imgs:      imgs,
+		slots:     slots,
+		hosts:     make([]*slotHost, len(slots)),
+		peers:     make([][]int, len(slots)),
+		homeMgr:   map[int]int{},
+		engines:   make([]*engine, len(imgs)),
+		slotOf:    make([]int, len(imgs)),
+		admitted:  make([]uint64, len(imgs)),
+		finished:  make([]uint64, len(imgs)),
+		remaining: len(imgs),
+	}
+	fl.m.Sim.SetLimit(cfg.MaxCycles)
+	fl.m.SetTracer(cfg.Tracer)
+	for gi := range fl.slotOf {
+		fl.slotOf[gi] = -1
+	}
+	for si, pl := range slots {
+		for _, s := range pl.slaves {
+			fl.homeMgr[s] = pl.manager
+		}
+		for sj, pj := range slots {
+			if sj != si {
+				fl.peers[si] = append(fl.peers[si], pj.manager)
+			}
+		}
+	}
+	// Initial admission: guest i takes slot i.
+	for si := range slots {
+		fl.hosts[si] = &slotHost{cur: fl.newEngine(si, si), guest: si}
+	}
+	fl.next = len(slots)
+	fl.spawnSlots()
+
+	simErr := fl.m.Run()
+
+	res := fl.collect()
+	if simErr != nil {
+		return res, fmt.Errorf("core: fleet simulation failed: %w", simErr)
+	}
+	for gi, e := range fl.engines {
+		if e != nil && e.execErr != nil {
+			return res, fmt.Errorf("core: guest %d failed: %w", gi, e.execErr)
+		}
+	}
+	return res, nil
+}
+
+// newEngine builds the engine binding guest gi to slot si.
+func (fl *fleetRun) newEngine(gi, si int) *engine {
+	e := &engine{
+		cfg:  fl.cfg,
+		pl:   fl.slots[si],
+		m:    fl.m,
+		proc: guest.Load(fl.imgs[gi]),
+		tr: translate.New(translate.Options{
+			Optimize:          fl.cfg.Optimize,
+			ConservativeFlags: fl.cfg.ConservativeFlags,
+		}),
+		codePages: map[uint32]bool{},
+		pageInval: map[uint32]uint64{},
+		peers:     fl.peers[si],
+		lend:      fl.fc.Lend,
+		homeMgr:   fl.homeMgr,
+		vmLabel:   fmt.Sprintf("vm%d", gi),
+	}
+	e.onExit = func(c *raw.TileCtx) {
+		fl.remaining--
+		if fl.remaining == 0 {
+			c.Stop()
+		}
+	}
+	e.registerTraceProcs()
+	fl.engines[gi] = e
+	fl.slotOf[gi] = si
+	return e
+}
+
+// spawnSlots registers every slot's tile kernels, each wrapped in a
+// loop that re-binds it to the slot's current engine after a vmSwitch.
+func (fl *fleetRun) spawnSlots() {
+	for si := range fl.slots {
+		pl := fl.slots[si]
+		h := fl.hosts[si]
+		fl.m.SpawnTile(pl.exec, "exec", func(c *raw.TileCtx) {
+			for {
+				e := h.cur
+				e.execKernel(c)
+				fl.finished[h.guest] = e.stopCycles
+				if fl.next >= len(fl.imgs) {
+					// No queued guest: leave the slot's service tiles
+					// running under the finished epoch so its parked
+					// slaves keep serving the surviving VMs.
+					return
+				}
+				gi := fl.next
+				fl.next++
+				h.cur = fl.newEngine(gi, si)
+				h.guest = gi
+				fl.admitted[gi] = c.Now()
+				fl.handoff(c, pl)
+			}
+		})
+		fl.m.SpawnTile(pl.manager, "manager", func(c *raw.TileCtx) {
+			for {
+				h.cur.managerKernel(c)
+			}
+		})
+		fl.m.SpawnTile(pl.mmu, "mmu", func(c *raw.TileCtx) {
+			for {
+				h.cur.mmuKernel(c)
+			}
+		})
+		fl.m.SpawnTile(pl.sys, "syscall", func(c *raw.TileCtx) {
+			for {
+				h.cur.sysKernel(c)
+			}
+		})
+		for _, t := range pl.l15 {
+			fl.m.SpawnTile(t, "l15", func(c *raw.TileCtx) {
+				for {
+					h.cur.l15Kernel(c)
+				}
+			})
+		}
+		for _, t := range pl.slaves {
+			fl.m.SpawnTile(t, "worker", func(c *raw.TileCtx) {
+				for {
+					h.cur.workerBody(roleSlave)(c)
+				}
+			})
+		}
+		for _, t := range pl.banks {
+			fl.m.SpawnTile(t, "worker", func(c *raw.TileCtx) {
+				for {
+					h.cur.workerBody(roleBank)(c)
+				}
+			})
+		}
+	}
+}
+
+// handoff rebinds a slot's service tiles to the next guest's engine.
+// Phase 1 quiesces the manager: its in-flight translations complete
+// (and are discarded) inside drainForSwitch, so no stale transDone can
+// reach the new epoch. Phase 2 resets the remaining service tiles —
+// workers flush their data banks (charged like a morph flush) and
+// slaves re-register with the new manager when their kernels restart.
+// The exec tile owns the handshake; it resumes dispatching only after
+// every service tile has acked.
+func (fl *fleetRun) handoff(c *raw.TileCtx, pl placement) {
+	c.Send(pl.manager, vmSwitch{}, wordsCtl)
+	waitSwitchAcks(c, 1)
+	targets := []int{pl.mmu, pl.sys}
+	targets = append(targets, pl.l15...)
+	targets = append(targets, pl.slaves...)
+	targets = append(targets, pl.banks...)
+	for _, t := range targets {
+		c.Send(t, vmSwitch{}, wordsCtl)
+	}
+	waitSwitchAcks(c, len(targets))
+}
+
+// waitSwitchAcks blocks until n switchAck messages arrive. Nothing
+// else targets an exec tile between guests, but stray payloads are
+// tolerated and skipped.
+func waitSwitchAcks(c *raw.TileCtx, n int) {
+	for n > 0 {
+		if _, ok := c.Recv().Payload.(switchAck); ok {
+			n--
+		}
+	}
+}
+
+// collect assembles the fleet result after the simulation ends.
+func (fl *fleetRun) collect() *FleetResult {
+	res := &FleetResult{
+		Guests:   make([]*GuestResult, len(fl.imgs)),
+		Slots:    len(fl.slots),
+		TileBusy: fl.m.BusyCycles(),
+	}
+	for gi := range fl.imgs {
+		gr := &GuestResult{Slot: fl.slotOf[gi]}
+		res.Guests[gi] = gr
+		e := fl.engines[gi]
+		if e == nil {
+			continue // simulation aborted before this guest was admitted
+		}
+		e.stats.Cycles = e.stopCycles
+		if e.mgr != nil {
+			e.stats.L2CAccess = e.mgr.l2.Accesses
+			e.stats.L2CMisses = e.mgr.l2.Misses
+			e.stats.SpecWasted = uint64(len(e.mgr.specStored))
+		}
+		gr.Result = &Result{
+			Cycles:    e.stopCycles,
+			ExitCode:  e.proc.Kern.ExitCode,
+			Stdout:    e.proc.Kern.Stdout.String(),
+			M:         e.stats,
+			StateHash: checkpoint.FinalHash(e.proc),
+		}
+		gr.Admitted = fl.admitted[gi]
+		gr.Finished = fl.finished[gi]
+		if gr.Finished > res.Makespan {
+			res.Makespan = gr.Finished
+		}
+	}
+	if res.Makespan > 0 && len(res.TileBusy) > 0 {
+		var busy uint64
+		for _, b := range res.TileBusy {
+			busy += b
+		}
+		res.Utilization = float64(busy) / (float64(len(res.TileBusy)) * float64(res.Makespan))
+	}
+	return res
+}

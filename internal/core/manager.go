@@ -58,9 +58,12 @@ type managerState struct {
 	transHeavy bool
 	lastMorph  uint64
 
-	// Cross-VM lending state (multi-VM mode).
-	helpOut     bool
-	pendingHelp bool
+	// Cross-VM lending state (fleet mode). helpOut counts unanswered
+	// helpReq broadcasts (a lendSlave clears it, a helpDeny decrements
+	// it); pendingHelp records each starved peer's advertised queue
+	// depth until this manager has a slave to spare.
+	helpOut     int
+	pendingHelp map[int]int
 
 	// Fault-recovery state (robust mode only). banksNow is the
 	// authoritative current data-bank interleave; lastBeat and
@@ -79,13 +82,14 @@ type managerState struct {
 func (e *engine) managerKernel(c *raw.TileCtx) {
 	P := e.cfg.Params
 	st := &managerState{
-		e:          e,
-		c:          c,
-		l2:         codecache.NewL2(P.L2CodeBytes),
-		entries:    map[uint32]*qEntry{},
-		waiters:    map[uint32][]waiter{},
-		roles:      map[int]roleKind{},
-		specStored: map[uint32]bool{},
+		e:           e,
+		c:           c,
+		l2:          codecache.NewL2(P.L2CodeBytes),
+		entries:     map[uint32]*qEntry{},
+		waiters:     map[uint32][]waiter{},
+		roles:       map[int]roleKind{},
+		specStored:  map[uint32]bool{},
+		pendingHelp: map[int]int{},
 	}
 	for _, t := range e.pl.slaves {
 		st.roles[t] = roleSlave
@@ -145,14 +149,25 @@ func (e *engine) managerKernel(c *raw.TileCtx) {
 			st.handleSMCInval(m, msg.From)
 		case lendSlave:
 			// A borrowed (or returning) slave joins the parked pool.
-			st.helpOut = false
-			st.parked = append(st.parked, m.Slave)
+			st.helpOut = 0
+			st.park(m.Slave)
 			st.dispatch()
 		case lendReturn:
-			st.parked = append(st.parked, m.Slave)
+			st.park(m.Slave)
 			st.dispatch()
 		case helpReq:
-			st.handleHelp()
+			st.handleHelp(m, msg.From)
+		case helpDeny:
+			if st.helpOut > 0 {
+				st.helpOut--
+			}
+		case vmSwitch:
+			// Fleet slot handoff: retire this epoch and hand the tile
+			// back to the slot wrapper, which restarts the kernel bound
+			// to the next guest's engine.
+			st.drainForSwitch()
+			st.c.Send(msg.From, switchAck{}, wordsCtl)
+			return
 		}
 	}
 }
@@ -318,17 +333,96 @@ func (st *managerState) sendRebank() {
 	st.rebankDeadline = st.c.Now() + st.e.cfg.Params.NetWatchdog
 }
 
-// handleHelp services the peer's request for a slave: immediately if
-// one is parked and the local queues are drained, otherwise as soon as
-// that becomes true.
-func (st *managerState) handleHelp() {
+// handleHelp services a peer's request for a slave: immediately if one
+// is parked and the local queues are drained, otherwise as soon as
+// that becomes true (dispatch consults pendingHelp, serving the
+// most-backed-up peer first).
+func (st *managerState) handleHelp(m helpReq, from int) {
 	if len(st.parked) > 0 && st.queuedLen() == 0 {
 		slave := st.parked[len(st.parked)-1]
 		st.parked = st.parked[:len(st.parked)-1]
-		st.c.Send(st.e.peerMgr, lendSlave{Slave: slave}, wordsCtl)
+		st.c.Send(from, lendSlave{Slave: slave}, wordsCtl)
 		return
 	}
-	st.pendingHelp = true
+	st.pendingHelp[from] = m.QLen
+}
+
+// park adds a slave to the idle pool, once. Duplicate registrations
+// are possible in fleet mode: a slave parked at a foreign manager when
+// its home slot switches guests restarts and re-registers with the new
+// manager, while the foreign manager may still lend or return the same
+// tile.
+func (st *managerState) park(slave int) {
+	for _, s := range st.parked {
+		if s == slave {
+			return
+		}
+	}
+	st.parked = append(st.parked, slave)
+}
+
+// neediestPeer picks the deferred help request with the deepest
+// advertised queue, iterating the static peer list so ties break
+// deterministically by peer order.
+func (st *managerState) neediestPeer() int {
+	best, bestQ := -1, -1
+	for _, p := range st.e.peers {
+		if q, ok := st.pendingHelp[p]; ok && q > bestQ {
+			best, bestQ = p, q
+		}
+	}
+	return best
+}
+
+// drainForSwitch retires this manager epoch ahead of a fleet slot
+// handoff: deferred help requests are denied (releasing the
+// requesters' broadcast latches), borrowed slaves are sent home, and
+// the manager blocks until every in-flight translation has come back
+// (results are discarded — the guest that wanted them is gone). The
+// slot's own slaves are simply dropped from the parked pool: their
+// kernels restart on their own vmSwitch and re-register with the next
+// manager. All iteration is over slices or the static peer list, so
+// message order — and therefore the simulation — stays deterministic.
+func (st *managerState) drainForSwitch() {
+	for _, p := range st.e.peers {
+		if _, ok := st.pendingHelp[p]; ok {
+			delete(st.pendingHelp, p)
+			st.c.Send(p, helpDeny{}, wordsCtl)
+		}
+	}
+	for _, s := range st.parked {
+		if home, ok := st.e.homeMgr[s]; ok && home != st.e.pl.manager {
+			st.c.Send(home, lendReturn{Slave: s}, wordsCtl)
+		}
+	}
+	st.parked = nil
+	inflight := 0
+	for _, en := range st.entries {
+		if en.inflight {
+			inflight++
+		}
+	}
+	for inflight > 0 {
+		msg := st.c.Recv()
+		switch m := msg.Payload.(type) {
+		case transDone:
+			en := st.entry(m.PC)
+			if en.inflight {
+				en.inflight = false
+				inflight--
+				st.e.stats.Translations++
+			}
+		case lendSlave:
+			// A grant answering this epoch's broadcast; pass it home.
+			if home, ok := st.e.homeMgr[m.Slave]; ok && home != st.e.pl.manager {
+				st.c.Send(home, lendReturn{Slave: m.Slave}, wordsCtl)
+			}
+		case helpReq:
+			st.c.Send(msg.From, helpDeny{}, wordsCtl)
+		case workReq:
+			// Own slave reporting idle; it re-registers after restart.
+		}
+	}
 }
 
 // handleSMCInval drops translations overlapping an overwritten byte
@@ -487,7 +581,7 @@ func (st *managerState) handleWorkReq(slave int) {
 		}
 	}
 	st.c.Tick(st.e.cfg.Params.TransRequestOcc)
-	st.parked = append(st.parked, slave)
+	st.park(slave)
 	st.dispatch()
 }
 
@@ -512,21 +606,26 @@ func (st *managerState) dispatch() {
 		st.e.trc().Instant(st.c.Tile, "assign", st.c.Now(), "pc", uint64(pc), "slave", uint64(slave))
 		st.c.Send(slave, st.workFor(pc, depth), wordsCtl)
 	}
-	if !st.e.lend || st.e.peerMgr < 0 {
+	if !st.e.lend || len(st.e.peers) == 0 {
 		return
 	}
-	// Lending is strictly request-driven (no unsolicited pushes, so two
-	// idle managers exchange no traffic): satisfy a deferred help
-	// request when capacity frees up, and ask for help when starved.
+	// Lending is strictly request-driven (no unsolicited pushes, so idle
+	// managers exchange no traffic): satisfy the most-backed-up deferred
+	// help request when capacity frees up, and broadcast for help when
+	// starved.
 	switch {
-	case st.pendingHelp && len(st.parked) > 0 && st.queuedLen() == 0:
+	case len(st.pendingHelp) > 0 && len(st.parked) > 0 && st.queuedLen() == 0:
+		peer := st.neediestPeer()
 		slave := st.parked[len(st.parked)-1]
 		st.parked = st.parked[:len(st.parked)-1]
-		st.pendingHelp = false
-		st.c.Send(st.e.peerMgr, lendSlave{Slave: slave}, wordsCtl)
-	case len(st.parked) == 0 && st.queuedLen() > 0 && !st.helpOut:
-		st.c.Send(st.e.peerMgr, helpReq{}, wordsCtl)
-		st.helpOut = true
+		delete(st.pendingHelp, peer)
+		st.c.Send(peer, lendSlave{Slave: slave}, wordsCtl)
+	case len(st.parked) == 0 && st.queuedLen() > 0 && st.helpOut == 0:
+		q := st.queuedLen()
+		for _, p := range st.e.peers {
+			st.c.Send(p, helpReq{QLen: q}, wordsCtl)
+		}
+		st.helpOut = len(st.e.peers)
 	}
 }
 

@@ -83,9 +83,30 @@ type lendReturn struct {
 	Slave int
 }
 
-// helpReq asks the peer manager for a slave when the local queues are
-// backed up and every local slave is busy or lent out.
-type helpReq struct{}
+// helpReq asks a peer manager for a slave when the local queues are
+// backed up and every local slave is busy or lent out. In fleet mode
+// it is broadcast to every peer; QLen advertises the requester's queue
+// depth so a lender with one spare slave serves the most-backed-up VM
+// first.
+type helpReq struct {
+	QLen int
+}
+
+// helpDeny answers a helpReq that this manager will never honor (it is
+// draining for a slot handoff and its deferred-help book dies with the
+// epoch); it releases one unit of the requester's broadcast latch so a
+// still-starved manager may ask again.
+type helpDeny struct{}
+
+// vmSwitch tells a slot's service tile to retire its current VM epoch
+// for a fleet slot handoff: the manager drains its in-flight
+// translations, workers flush their data banks, and every receiver
+// acknowledges with switchAck and returns so the slot wrapper can
+// restart the kernel bound to the next guest's engine.
+type vmSwitch struct{}
+
+// switchAck acknowledges a vmSwitch to the coordinating exec tile.
+type switchAck struct{}
 
 // memReq is a guest data-memory request from the execution tile to the
 // MMU tile. Write requests are posted (no reply needed functionally)

@@ -1,28 +1,11 @@
 package core
 
 import (
-	"fmt"
-
 	"tilevm/internal/guest"
-	"tilevm/internal/raw"
-	"tilevm/internal/translate"
 )
 
-// Multi-VM mode implements the paper's §5 vision: "a large tiled
-// fabric running many virtual x86's all at the same time … If dynamic
-// reconfiguration is then applied between virtual x86 processors, the
-// virtual processors would compete for resources and this leads to a
-// higher utilization of the underlying tiled fabric."
-//
-// Two complete virtual machines are laid out on disjoint halves of the
-// 4×4 grid, each with its own execution tile, manager, MMU, syscall
-// proxy, L1.5 bank, data bank, and two translation slaves. With
-// lending enabled, a manager whose translation queues are empty offers
-// its idle slave tiles to the other VM's manager (and asks for help
-// when its own queues back up); when one guest exits, its slaves keep
-// serving the survivor — the "shrink the stalled x86" behaviour of §5.
-
-// PairResult is the outcome of a two-guest run.
+// PairResult is the outcome of a two-guest run — the original
+// multi-VM mode, now expressed as a two-guest fleet (see fleet.go).
 type PairResult struct {
 	A, B *Result
 	// Makespan is the virtual time at which the second guest finished.
@@ -31,96 +14,20 @@ type PairResult struct {
 	TileBusy []uint64
 }
 
-// pairPlacements carves the 4×4 grid into two 8-tile VMs. Layout keeps
-// each VM's exec tile adjacent to its manager, MMU, and L1.5 bank.
-func pairPlacements() (a, b placement) {
-	a = placement{
-		sys: 0, l15: []int{1}, exec: 5, manager: 4, mmu: 6,
-		slaves: []int{2, 3}, banks: []int{7},
-		switchIsBank: map[int]bool{},
-	}
-	b = placement{
-		sys: 8, l15: []int{9}, exec: 13, manager: 12, mmu: 14,
-		slaves: []int{10, 11}, banks: []int{15},
-		switchIsBank: map[int]bool{},
-	}
-	return a, b
-}
-
 // RunPair executes two guests side by side on one fabric. cfg supplies
 // the timing parameters and translator options; the per-VM tile counts
-// are fixed by the split. lend enables cross-VM slave lending.
+// are fixed by the slot shape. lend enables cross-VM slave lending.
+// It is a two-guest RunFleet: carving the default 4×4 grid yields the
+// same disjoint-halves split the pair mode always used.
 func RunPair(imgA, imgB *guest.Image, cfg Config, lend bool) (*PairResult, error) {
-	if cfg.MaxCycles == 0 {
-		cfg.MaxCycles = 20_000_000_000
+	fr, err := RunFleet([]*guest.Image{imgA, imgB}, cfg, FleetConfig{Lend: lend})
+	if fr == nil {
+		return nil, err
 	}
-	if cfg.Morph {
-		return nil, fmt.Errorf("core: intra-VM morphing and multi-VM mode are mutually exclusive")
+	res := &PairResult{Makespan: fr.Makespan, TileBusy: fr.TileBusy}
+	if len(fr.Guests) == 2 {
+		res.A = fr.Guests[0].Result
+		res.B = fr.Guests[1].Result
 	}
-	m := raw.NewMachine(cfg.Params)
-	m.Sim.SetLimit(cfg.MaxCycles)
-
-	remaining := 2
-	mk := func(img *guest.Image, pl placement, peer int) *engine {
-		e := &engine{
-			cfg:  cfg,
-			pl:   pl,
-			m:    m,
-			proc: guest.Load(img),
-			tr: translate.New(translate.Options{
-				Optimize:          cfg.Optimize,
-				ConservativeFlags: cfg.ConservativeFlags,
-			}),
-			codePages: map[uint32]bool{},
-			pageInval: map[uint32]uint64{},
-			peerMgr:   peer,
-			lend:      lend,
-		}
-		e.onExit = func(c *raw.TileCtx) {
-			remaining--
-			if remaining == 0 {
-				c.Stop()
-			}
-		}
-		return e
-	}
-
-	plA, plB := pairPlacements()
-	ea := mk(imgA, plA, plB.manager)
-	eb := mk(imgB, plB, plA.manager)
-	ea.spawn()
-	eb.spawn()
-
-	simErr := m.Run()
-
-	collect := func(e *engine) *Result {
-		e.stats.Cycles = e.stopCycles
-		if e.mgr != nil {
-			e.stats.L2CAccess = e.mgr.l2.Accesses
-			e.stats.L2CMisses = e.mgr.l2.Misses
-			e.stats.SpecWasted = uint64(len(e.mgr.specStored))
-		}
-		return &Result{
-			Cycles:   e.stopCycles,
-			ExitCode: e.proc.Kern.ExitCode,
-			Stdout:   e.proc.Kern.Stdout.String(),
-			M:        e.stats,
-		}
-	}
-	res := &PairResult{A: collect(ea), B: collect(eb), TileBusy: m.BusyCycles()}
-	if res.A.Cycles > res.B.Cycles {
-		res.Makespan = res.A.Cycles
-	} else {
-		res.Makespan = res.B.Cycles
-	}
-	if simErr != nil {
-		return res, fmt.Errorf("core: multi-VM simulation failed: %w", simErr)
-	}
-	if ea.execErr != nil {
-		return res, fmt.Errorf("core: guest A failed: %w", ea.execErr)
-	}
-	if eb.execErr != nil {
-		return res, fmt.Errorf("core: guest B failed: %w", eb.execErr)
-	}
-	return res, nil
+	return res, err
 }

@@ -76,7 +76,11 @@ func TestMultiVMLendingHelpsAsymmetricPair(t *testing.T) {
 }
 
 func TestMultiVMDisjointPlacement(t *testing.T) {
-	a, b := pairPlacements()
+	slots, err := carveFabric(DefaultConfig().Params, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := slots[0], slots[1]
 	seen := map[int]bool{}
 	add := func(ts ...int) {
 		for _, tile := range ts {

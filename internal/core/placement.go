@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+
+	"tilevm/internal/raw"
+)
+
+// Fleet slot carving: partitioning an arbitrary W×H fabric into
+// complete 8-tile virtual machines. Each slot is a 4×2 (or transposed
+// 2×4) rectangle holding a full service set — syscall proxy, L1.5
+// bank, two translation slaves, manager, execution tile, MMU, and one
+// data bank — arranged so the execution tile is adjacent to its
+// manager, MMU, and L1.5 bank, the same layout constraint the fixed
+// 4×4 pair split encodes (see DESIGN.md §9).
+//
+//	4×2 slot            2×4 slot
+//	sys  l15  slv  slv      sys  mgr
+//	mgr  exec mmu  bank     l15  exec
+//	                        slv  mmu
+//	                        slv  bank
+
+// slotTiles is the number of tiles one carved VM slot occupies.
+const slotTiles = 8
+
+// maxFabricDim bounds carving so a hostile Width/Height cannot demand
+// an absurd allocation; real experiments use 4×4 through 16×16.
+const maxFabricDim = 256
+
+// slotAt builds the placement for a slot anchored at (x0,y0).
+func slotAt(p raw.Params, x0, y0 int, horiz bool) placement {
+	t := func(dx, dy int) int {
+		if !horiz {
+			dx, dy = dy, dx
+		}
+		return p.TileAt(x0+dx, y0+dy)
+	}
+	return placement{
+		sys:     t(0, 0),
+		l15:     []int{t(1, 0)},
+		slaves:  []int{t(2, 0), t(3, 0)},
+		manager: t(0, 1),
+		exec:    t(1, 1),
+		mmu:     t(2, 1),
+		banks:   []int{t(3, 1)},
+		// No switchable tiles: fleet slots never morph.
+		switchIsBank: map[int]bool{},
+	}
+}
+
+// carveFabric partitions the fabric into VM slots by a deterministic
+// row-major greedy scan, trying the 4×2 orientation before the 2×4 at
+// every free anchor. want > 0 demands exactly that many slots (error
+// if they do not fit); want == 0 carves as many as fit (error if
+// none). On the default 4×4 grid the first two slots reproduce the
+// original pair split bit for bit.
+func carveFabric(p raw.Params, want int) ([]placement, error) {
+	if p.Width < 2 || p.Height < 2 {
+		return nil, fmt.Errorf("core: %d×%d fabric cannot host a VM slot (minimum slot is 4×2 tiles)", p.Width, p.Height)
+	}
+	if p.Width > maxFabricDim || p.Height > maxFabricDim {
+		return nil, fmt.Errorf("core: %d×%d fabric exceeds the %d×%d carving limit", p.Width, p.Height, maxFabricDim, maxFabricDim)
+	}
+	used := make([]bool, p.Tiles())
+	fits := func(x0, y0, w, h int) bool {
+		if x0+w > p.Width || y0+h > p.Height {
+			return false
+		}
+		for dy := 0; dy < h; dy++ {
+			for dx := 0; dx < w; dx++ {
+				if used[p.TileAt(x0+dx, y0+dy)] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	claim := func(x0, y0, w, h int) {
+		for dy := 0; dy < h; dy++ {
+			for dx := 0; dx < w; dx++ {
+				used[p.TileAt(x0+dx, y0+dy)] = true
+			}
+		}
+	}
+	var slots []placement
+	for y := 0; y < p.Height; y++ {
+		for x := 0; x < p.Width; x++ {
+			if want > 0 && len(slots) == want {
+				return slots, nil
+			}
+			switch {
+			case fits(x, y, 4, 2):
+				claim(x, y, 4, 2)
+				slots = append(slots, slotAt(p, x, y, true))
+			case fits(x, y, 2, 4):
+				claim(x, y, 2, 4)
+				slots = append(slots, slotAt(p, x, y, false))
+			}
+		}
+	}
+	if len(slots) == 0 {
+		return nil, fmt.Errorf("core: %d×%d fabric fits no 4×2 or 2×4 VM slot", p.Width, p.Height)
+	}
+	if want > 0 && len(slots) < want {
+		return nil, fmt.Errorf("core: %d VM slots requested but the %d×%d fabric fits only %d",
+			want, p.Width, p.Height, len(slots))
+	}
+	return slots, nil
+}
+
+// FleetSlots reports how many VM slots RunFleet can carve out of the
+// fabric — the fleet's concurrency limit. It returns an error when the
+// fabric fits none, so CLIs can reject impossible -guests/-grid
+// combinations before building any guest image.
+func FleetSlots(p raw.Params) (int, error) {
+	slots, err := carveFabric(p, 0)
+	if err != nil {
+		return 0, err
+	}
+	return len(slots), nil
+}

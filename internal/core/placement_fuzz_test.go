@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"tilevm/internal/raw"
+)
+
+// slotInvariants checks one carved slot's structural contract: every
+// role present exactly once, all tiles in bounds, and the execution
+// tile Manhattan-adjacent to its manager, MMU, and L1.5 bank (the
+// layout constraint that keeps the hot dispatch round trips to
+// single-hop messages).
+func slotInvariants(t *testing.T, p raw.Params, si int, pl placement, used map[int]int) {
+	t.Helper()
+	if len(pl.l15) != 1 || len(pl.slaves) != 2 || len(pl.banks) != 1 {
+		t.Fatalf("slot %d role counts wrong: %+v", si, pl)
+	}
+	tiles := []int{pl.sys, pl.l15[0], pl.slaves[0], pl.slaves[1], pl.manager, pl.exec, pl.mmu, pl.banks[0]}
+	for _, tile := range tiles {
+		if tile < 0 || tile >= p.Tiles() {
+			t.Fatalf("slot %d tile %d out of bounds on %d×%d", si, tile, p.Width, p.Height)
+		}
+		if prev, clash := used[tile]; clash {
+			t.Fatalf("tile %d claimed by slots %d and %d", tile, prev, si)
+		}
+		used[tile] = si
+	}
+	adjacent := func(a, b int) bool {
+		ax, ay := p.XY(a)
+		bx, by := p.XY(b)
+		dx, dy := ax-bx, ay-by
+		if dx < 0 {
+			dx = -dx
+		}
+		if dy < 0 {
+			dy = -dy
+		}
+		return dx+dy == 1
+	}
+	for _, n := range []struct {
+		name string
+		tile int
+	}{{"manager", pl.manager}, {"mmu", pl.mmu}, {"l15", pl.l15[0]}} {
+		if !adjacent(pl.exec, n.tile) {
+			t.Errorf("slot %d: exec tile %d not adjacent to %s tile %d", si, pl.exec, n.name, n.tile)
+		}
+	}
+}
+
+// FuzzCarveFabric throws arbitrary fabric shapes and slot demands at
+// the carver: any input must yield either an error or a set of
+// disjoint, in-bounds, role-complete, adjacency-correct slots — never
+// a panic — and carving must be deterministic.
+//
+//	go test ./internal/core -run - -fuzz FuzzCarveFabric -fuzztime 30s
+func FuzzCarveFabric(f *testing.F) {
+	f.Add(4, 4, 0)
+	f.Add(4, 4, 2)
+	f.Add(8, 8, 8)
+	f.Add(2, 4, 1)
+	f.Add(5, 3, 0)
+	f.Add(1, 1, 1)
+	f.Add(0, -3, 0)
+	f.Add(257, 4, 1)
+	f.Add(16, 16, 33)
+	f.Fuzz(func(t *testing.T, w, h, want int) {
+		p := raw.DefaultParams()
+		p.Width, p.Height = w, h
+		slots, err := carveFabric(p, want)
+		if err != nil {
+			if len(slots) != 0 {
+				t.Fatalf("%d×%d want=%d: error %v alongside %d slots", w, h, want, err, len(slots))
+			}
+			return
+		}
+		if len(slots) == 0 || (want > 0 && len(slots) != want) {
+			t.Fatalf("%d×%d want=%d: carved %d slots without error", w, h, want, len(slots))
+		}
+		if len(slots)*slotTiles > p.Tiles() {
+			t.Fatalf("%d×%d: %d slots exceed %d tiles", w, h, len(slots), p.Tiles())
+		}
+		used := map[int]int{}
+		for si, pl := range slots {
+			slotInvariants(t, p, si, pl, used)
+		}
+		again, err := carveFabric(p, want)
+		if err != nil || len(again) != len(slots) {
+			t.Fatalf("%d×%d want=%d: carve not deterministic (%v)", w, h, want, err)
+		}
+		for si := range slots {
+			if slots[si].exec != again[si].exec || slots[si].sys != again[si].sys {
+				t.Fatalf("%d×%d want=%d: slot %d differs between carves", w, h, want, si)
+			}
+		}
+	})
+}

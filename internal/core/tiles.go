@@ -97,6 +97,17 @@ func (e *engine) workerBody(initial roleKind) func(*raw.TileCtx) {
 				}
 				e.pool.freeFwd(m)
 
+			case vmSwitch:
+				// Fleet slot handoff: flush the data bank so the next
+				// guest cannot see stale lines (charged like a morph
+				// flush — the slot's working set changes wholesale),
+				// then hand the tile back to the slot wrapper.
+				d := bank.Flush()
+				e.stats.MorphFlushLines += uint64(d)
+				c.Tick(P.MorphFixed + uint64(d)*P.MorphPerLine)
+				c.Send(msg.From, switchAck{}, wordsCtl)
+				return
+
 			case raw.Corrupted:
 				// A corrupted message is discarded here, its single
 				// delivery point — only now is the pooled payload
@@ -163,6 +174,10 @@ func (e *engine) l15Kernel(c *raw.TileCtx) {
 			bank.Flush()
 			e.trc().Instant(c.Tile, "smc_flush", c.Now(), "", 0, "", 0)
 			c.Send(msg.From, smcAck{}, wordsCtl)
+		case vmSwitch:
+			// Fleet slot handoff; the restarted kernel gets a fresh bank.
+			c.Send(msg.From, switchAck{}, wordsCtl)
+			return
 		}
 	}
 }
@@ -205,6 +220,10 @@ func (e *engine) mmuKernel(c *raw.TileCtx) {
 			if req.Gen > 0 {
 				c.Send(msg.From, rebankAck{Gen: req.Gen}, wordsCtl)
 			}
+		case vmSwitch:
+			// Fleet slot handoff; the restarted kernel gets a fresh TLB.
+			c.Send(msg.From, switchAck{}, wordsCtl)
+			return
 		case raw.Corrupted:
 			e.recycleFaulty(req.Payload)
 		}
@@ -222,6 +241,12 @@ func (e *engine) sysKernel(c *raw.TileCtx) {
 	}
 	for {
 		msg := c.Recv()
+		if _, sw := msg.Payload.(vmSwitch); sw {
+			// Fleet slot handoff; the next guest proxies to a fresh
+			// kernel bound to its own process.
+			c.Send(msg.From, switchAck{}, wordsCtl)
+			return
+		}
 		req, ok := msg.Payload.(sysReq)
 		if !ok {
 			continue

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"tilevm/internal/raw"
 	"tilevm/internal/trace"
 )
 
@@ -52,9 +53,16 @@ var traceGaugeNames = []string{"trans_queue_max"}
 // over the 4×4 grid, and derived hit/miss-rate columns. sampleInterval
 // is the window width in cycles; 0 records the event timeline only.
 func NewTracer(sampleInterval uint64) *trace.Tracer {
+	return NewTracerFor(DefaultConfig().Params, sampleInterval)
+}
+
+// NewTracerFor is NewTracer for an arbitrary fabric: the per-tile
+// occupancy columns cover p.Tiles() tiles, so fleet runs on larger
+// grids trace every slot.
+func NewTracerFor(p raw.Params, sampleInterval uint64) *trace.Tracer {
 	return trace.New(trace.Options{
 		SampleInterval: sampleInterval,
-		Tiles:          DefaultConfig().Params.Tiles(),
+		Tiles:          p.Tiles(),
 		Counts:         traceCountNames,
 		Gauges:         traceGaugeNames,
 		Ratios: []trace.Ratio{
@@ -80,6 +88,9 @@ func (e *engine) registerTraceProcs() {
 		return
 	}
 	name := func(tile int, role string) {
+		if e.vmLabel != "" {
+			role = role + " " + e.vmLabel
+		}
 		x, y := e.cfg.Params.XY(tile)
 		t.SetProcName(tile, fmt.Sprintf("tile %d %s (%d,%d)", tile, role, x, y))
 	}

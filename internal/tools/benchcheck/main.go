@@ -1,0 +1,169 @@
+// Command benchcheck is the perf-regression smoke gate: it re-measures
+// the headline simulator benchmarks (the machine_run_gzip micro and
+// the serial quick figure suite) and compares them against the
+// recorded trajectory in BENCH_sim.json. A metric that regresses
+// beyond its tolerance fails the run. Tolerances are deliberately
+// generous — shared CI hosts are noisy — so only a structural
+// regression (an accidental O(n²), a lost pooling optimization) trips
+// the gate; allocation counts are near-deterministic and get the
+// tightest bound.
+//
+//	benchcheck                      # compare against ./BENCH_sim.json
+//	benchcheck -baseline b.json -time-tol 3 -skip-suite
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"tilevm/internal/bench"
+	"tilevm/internal/core"
+	"tilevm/internal/workload"
+)
+
+// baseline mirrors the slice of BENCH_sim.json this gate reads.
+type baseline struct {
+	Micro map[string]struct {
+		NsPerOp     int64 `json:"ns_per_op"`
+		AllocsPerOp int64 `json:"allocs_per_op"`
+	} `json:"micro"`
+	QuickSuite struct {
+		Serial struct {
+			Seconds float64 `json:"seconds"`
+		} `json:"serial"`
+	} `json:"quick_suite"`
+}
+
+func loadBaseline(path string) (*baseline, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b baseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if _, ok := b.Micro["machine_run_gzip"]; !ok {
+		return nil, fmt.Errorf("%s: no machine_run_gzip micro entry", path)
+	}
+	return &b, nil
+}
+
+// metric is one baseline-vs-measured comparison. The gate trips when
+// measured > baseline × tol; improvements never fail.
+type metric struct {
+	Name               string
+	Baseline, Measured float64
+	Tol                float64
+}
+
+// evaluate renders each metric's comparison line and collects the
+// violations. Metrics with a zero baseline are reported but never
+// fail (a fresh baseline file may predate the counter).
+func evaluate(ms []metric) (lines, violations []string) {
+	for _, m := range ms {
+		status := "ok"
+		if m.Baseline > 0 && m.Measured > m.Baseline*m.Tol {
+			status = "REGRESSED"
+			violations = append(violations,
+				fmt.Sprintf("%s: %.0f exceeds baseline %.0f × tolerance %.2f", m.Name, m.Measured, m.Baseline, m.Tol))
+		}
+		ratio := 0.0
+		if m.Baseline > 0 {
+			ratio = m.Measured / m.Baseline
+		}
+		lines = append(lines, fmt.Sprintf("%-28s baseline %14.0f  measured %14.0f  (%.2fx, tol %.2fx) %s",
+			m.Name, m.Baseline, m.Measured, ratio, m.Tol, status))
+	}
+	return lines, violations
+}
+
+func measureGzipMicro() (nsPerOp, allocsPerOp int64, err error) {
+	gz, ok := workload.ByName("164.gzip")
+	if !ok {
+		return 0, 0, fmt.Errorf("workload 164.gzip missing")
+	}
+	img := gz.Build()
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Run(img, core.DefaultConfig()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return r.NsPerOp(), r.AllocsPerOp(), nil
+}
+
+func measureQuickSuite() (float64, error) {
+	s := bench.NewSuite()
+	s.Quick = true
+	s.Workers = 1
+	start := time.Now()
+	figs := []func() (*bench.Figure, error){
+		s.Figure4, s.Figure5, s.Figure6, s.Figure7,
+		s.Figure8, s.Figure9, s.Figure10,
+	}
+	for _, f := range figs {
+		if _, err := f(); err != nil {
+			return 0, err
+		}
+	}
+	if _, err := s.Headline(); err != nil {
+		return 0, err
+	}
+	return time.Since(start).Seconds(), nil
+}
+
+func main() {
+	var (
+		basePath  = flag.String("baseline", "BENCH_sim.json", "recorded trajectory to compare against")
+		timeTol   = flag.Float64("time-tol", 2.5, "wall-clock regression tolerance (multiple of baseline)")
+		allocTol  = flag.Float64("alloc-tol", 1.25, "allocs/op regression tolerance (multiple of baseline)")
+		skipSuite = flag.Bool("skip-suite", false, "skip the quick figure suite (micro only)")
+	)
+	flag.Parse()
+
+	base, err := loadBaseline(*basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(1)
+	}
+
+	fmt.Fprintln(os.Stderr, "benchcheck: measuring machine_run_gzip...")
+	ns, allocs, err := measureGzipMicro()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(1)
+	}
+	gz := base.Micro["machine_run_gzip"]
+	ms := []metric{
+		{"machine_run_gzip ns/op", float64(gz.NsPerOp), float64(ns), *timeTol},
+		{"machine_run_gzip allocs/op", float64(gz.AllocsPerOp), float64(allocs), *allocTol},
+	}
+	if !*skipSuite {
+		fmt.Fprintln(os.Stderr, "benchcheck: running quick figure suite (serial)...")
+		secs, err := measureQuickSuite()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(1)
+		}
+		ms = append(ms, metric{"quick_suite serial seconds", base.QuickSuite.Serial.Seconds, secs, *timeTol})
+	}
+
+	lines, violations := evaluate(ms)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "benchcheck: REGRESSION:", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchcheck: %d metrics within tolerance of %s\n", len(ms), *basePath)
+}

@@ -20,17 +20,15 @@ import (
 // leading ! and are checked the same way.
 var linkRe = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
 
-func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: linkcheck <file.md|dir>...")
-		os.Exit(2)
-	}
+// gatherFiles expands the argument list into the markdown files to
+// check: file arguments are taken as-is, directory arguments are
+// walked for *.md.
+func gatherFiles(args []string) ([]string, error) {
 	var files []string
-	for _, arg := range os.Args[1:] {
+	for _, arg := range args {
 		st, err := os.Stat(arg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "linkcheck:", err)
-			os.Exit(1)
+			return nil, err
 		}
 		if !st.IsDir() {
 			files = append(files, arg)
@@ -46,40 +44,72 @@ func main() {
 			return nil
 		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "linkcheck:", err)
-			os.Exit(1)
+			return nil, err
 		}
 	}
+	return files, nil
+}
 
-	broken, checked := 0, 0
+// skipTarget reports whether a link target is outside the checker's
+// scope: external URLs (reachability is not checked offline) and
+// same-file anchors.
+func skipTarget(target string) bool {
+	return strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:")
+}
+
+// checkFile scans one markdown file and returns the number of relative
+// links checked plus a description of each broken one.
+func checkFile(file string) (checked int, broken []string, err error) {
+	raw, err := os.ReadFile(file)
+	if err != nil {
+		return 0, nil, err
+	}
+	for _, m := range linkRe.FindAllStringSubmatch(string(raw), -1) {
+		target := m[1]
+		if skipTarget(target) {
+			continue
+		}
+		if i := strings.IndexByte(target, '#'); i >= 0 {
+			target = target[:i]
+		}
+		if target == "" {
+			continue // same-file anchor
+		}
+		checked++
+		resolved := filepath.Join(filepath.Dir(file), target)
+		if _, err := os.Stat(resolved); err != nil {
+			broken = append(broken, fmt.Sprintf("%s: broken link %q (%s)", file, m[1], resolved))
+		}
+	}
+	return checked, broken, nil
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: linkcheck <file.md|dir>...")
+		os.Exit(2)
+	}
+	files, err := gatherFiles(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "linkcheck:", err)
+		os.Exit(1)
+	}
+	totalBroken, totalChecked := 0, 0
 	for _, file := range files {
-		raw, err := os.ReadFile(file)
+		checked, broken, err := checkFile(file)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "linkcheck:", err)
 			os.Exit(1)
 		}
-		for _, m := range linkRe.FindAllStringSubmatch(string(raw), -1) {
-			target := m[1]
-			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
-				continue // external; reachability is not checked offline
-			}
-			if i := strings.IndexByte(target, '#'); i >= 0 {
-				target = target[:i]
-			}
-			if target == "" {
-				continue // same-file anchor
-			}
-			checked++
-			resolved := filepath.Join(filepath.Dir(file), target)
-			if _, err := os.Stat(resolved); err != nil {
-				fmt.Fprintf(os.Stderr, "linkcheck: %s: broken link %q (%s)\n", file, m[1], resolved)
-				broken++
-			}
+		totalChecked += checked
+		totalBroken += len(broken)
+		for _, b := range broken {
+			fmt.Fprintln(os.Stderr, "linkcheck:", b)
 		}
 	}
 	fmt.Printf("linkcheck: %d files, %d relative links checked, %d broken\n",
-		len(files), checked, broken)
-	if broken > 0 {
+		len(files), totalChecked, totalBroken)
+	if totalBroken > 0 {
 		os.Exit(1)
 	}
 }

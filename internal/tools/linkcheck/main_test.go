@@ -1,0 +1,120 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherFiles(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "a.md"), "")
+	write(t, filepath.Join(dir, "sub", "b.md"), "")
+	write(t, filepath.Join(dir, "sub", "c.txt"), "")
+	write(t, filepath.Join(dir, "d.md"), "")
+
+	files, err := gatherFiles([]string{filepath.Join(dir, "a.md"), filepath.Join(dir, "sub")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, f := range files {
+		names = append(names, filepath.Base(f))
+	}
+	sort.Strings(names)
+	// a.md given explicitly, b.md found by the walk; c.txt is not
+	// markdown and d.md was never named.
+	if want := []string{"a.md", "b.md"}; !equalStrings(names, want) {
+		t.Errorf("gathered %v, want %v", names, want)
+	}
+
+	if _, err := gatherFiles([]string{filepath.Join(dir, "missing.md")}); err == nil {
+		t.Error("gatherFiles on a missing path succeeded, want error")
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCheckFile(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "target.md"), "hi")
+	write(t, filepath.Join(dir, "sub", "deep.md"), "hi")
+	doc := strings.Join([]string{
+		"[ok](target.md)",
+		"[ok-dir](sub)",
+		"[ok-deep](sub/deep.md)",
+		"[ok-anchor](target.md#section)",
+		"[self](#section)",
+		"[ext](https://example.com/x.md)",
+		"[mail](mailto:a@b.c)",
+		"![img](missing.png)",
+		"[gone](nope.md)",
+	}, "\n")
+	write(t, filepath.Join(dir, "doc.md"), doc)
+
+	checked, broken, err := checkFile(filepath.Join(dir, "doc.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 good relative links + 2 broken; anchors and externals skipped.
+	if checked != 6 {
+		t.Errorf("checked %d links, want 6", checked)
+	}
+	if len(broken) != 2 {
+		t.Fatalf("found %d broken links (%v), want 2", len(broken), broken)
+	}
+	if !strings.Contains(broken[0], "missing.png") || !strings.Contains(broken[1], "nope.md") {
+		t.Errorf("broken list %v does not name missing.png and nope.md", broken)
+	}
+}
+
+func TestCheckFileResolvesAgainstContainingDir(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "docs", "page.md"), "[up](../root.md)")
+	write(t, filepath.Join(dir, "root.md"), "hi")
+	checked, broken, err := checkFile(filepath.Join(dir, "docs", "page.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked != 1 || len(broken) != 0 {
+		t.Errorf("checked=%d broken=%v, want 1 and none", checked, broken)
+	}
+}
+
+func TestSkipTarget(t *testing.T) {
+	cases := map[string]bool{
+		"https://example.com": true,
+		"http://x/y.md":       true,
+		"mailto:a@b.c":        true,
+		"README.md":           false,
+		"../up.md":            false,
+		"dir/file.md#frag":    false,
+	}
+	for target, want := range cases {
+		if got := skipTarget(target); got != want {
+			t.Errorf("skipTarget(%q) = %v, want %v", target, got, want)
+		}
+	}
+}
