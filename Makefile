@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race racepar race-fleet cover-fleet bench bench-check fuzz fuzz-smoke replay-smoke trace-smoke fleet-smoke linkcheck
+.PHONY: check vet build test race racepar race-fleet cover-fleet bench bench-check fuzz fuzz-smoke replay-smoke trace-smoke fleet-smoke fleet-fault-smoke linkcheck
 
 # The full gate: what CI (and a pre-commit) should run.
 check: vet build test racepar
@@ -32,15 +32,15 @@ racepar:
 # invariance battery, on core and bench.
 race-fleet:
 	$(GO) test -race -run 'TestFleet|TestCarve|TestMultiVM|TestPairMatches|TestRunFleet' ./internal/core
-	$(GO) test -race -run TestFleetSweepQuick ./internal/bench
+	$(GO) test -race -run 'TestFleetSweepQuick|TestFleetFaultSweepQuick' ./internal/bench
 
 # Coverage summary for the fleet/placement layer (the code this PR's
 # test battery is aimed at).
 cover-fleet:
-	$(GO) test -run 'TestFleet|TestCarve|TestMultiVM|TestPairMatches|TestRunFleet|FuzzCarveFabric' \
+	$(GO) test -run 'TestFleet|TestCarve|TestMultiVM|TestPairMatches|TestRunFleet|FuzzCarveFabric|FuzzQuarantineRecarve' \
 	  -coverprofile=/tmp/tilevm-fleet-cover.out ./internal/core
 	$(GO) tool cover -func=/tmp/tilevm-fleet-cover.out | \
-	  grep -E 'fleet\.go|placement\.go|multivm\.go|total:'
+	  grep -E 'fleet\.go|fleetpolicy\.go|placement\.go|multivm\.go|total:'
 	rm -f /tmp/tilevm-fleet-cover.out
 
 # Perf trajectory: the microbenchmarks in bench_test.go plus the
@@ -63,6 +63,7 @@ fuzz:
 	$(GO) test ./internal/checkpoint -run - -fuzz FuzzCheckpointDecode -fuzztime 30s
 	$(GO) test ./internal/checkpoint -run - -fuzz FuzzRecordDecode -fuzztime 30s
 	$(GO) test ./internal/core -run - -fuzz FuzzCarveFabric -fuzztime 30s
+	$(GO) test ./internal/core -run - -fuzz FuzzQuarantineRecarve -fuzztime 30s
 
 # Quick fuzz pass for CI: enough to catch a codec regression, short
 # enough to run on every push.
@@ -70,6 +71,7 @@ fuzz-smoke:
 	$(GO) test ./internal/checkpoint -run - -fuzz FuzzCheckpointDecode -fuzztime 10s
 	$(GO) test ./internal/checkpoint -run - -fuzz FuzzRecordDecode -fuzztime 10s
 	$(GO) test ./internal/core -run - -fuzz FuzzCarveFabric -fuzztime 10s
+	$(GO) test ./internal/core -run - -fuzz FuzzQuarantineRecarve -fuzztime 10s
 
 # End-to-end record/replay smoke: record a faulted rollback run, then
 # verify a full replay reproduces it bit for bit (tilevm exits non-zero
@@ -95,6 +97,22 @@ trace-smoke:
 # exercising carving, admission, and the fleet report.
 fleet-smoke:
 	$(GO) run ./cmd/tilevm -guests 164.gzip,181.mcf,164.gzip,181.mcf -grid 8x8
+
+# End-to-end fleet fault-tolerance smoke: a seeded fail-stop fault
+# quarantines a slot mid-run on an oversubscribed fleet with per-guest
+# deadlines; the run must engage the policy layer (a slot actually
+# quarantined) and two runs at the same seed must produce byte-identical
+# reports — goodput, SLO, and per-guest outcomes included.
+fleet-fault-smoke:
+	$(GO) run ./cmd/tilevm -guests 164.gzip,181.mcf,164.gzip \
+	  -fault-plan 'fail:5@500000' -fault-seed 7 -deadline 8000000 -v \
+	  > /tmp/tilevm-fleet-fault-a.txt
+	$(GO) run ./cmd/tilevm -guests 164.gzip,181.mcf,164.gzip \
+	  -fault-plan 'fail:5@500000' -fault-seed 7 -deadline 8000000 -v \
+	  > /tmp/tilevm-fleet-fault-b.txt
+	cmp /tmp/tilevm-fleet-fault-a.txt /tmp/tilevm-fleet-fault-b.txt
+	grep -q 'quarantined' /tmp/tilevm-fleet-fault-a.txt
+	rm -f /tmp/tilevm-fleet-fault-a.txt /tmp/tilevm-fleet-fault-b.txt
 
 # Verify that every relative link in the markdown docs points at a file
 # that exists.

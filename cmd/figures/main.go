@@ -32,6 +32,7 @@ func main() {
 		util       = flag.String("utilization", "", "print per-tile utilization for a benchmark (e.g. 176.gcc)")
 		multivm    = flag.Bool("multivm", false, "also run the §5 two-VM fabric-sharing experiment")
 		fleet      = flag.Bool("fleet", false, "also run the N-guest fleet scheduler sweep (4x4 and 8x8 fabrics)")
+		fleetFault = flag.Bool("fleetfault", false, "also run the fleet fault-tolerance sweep (quarantine/retry/deadline policies)")
 		faultsw    = flag.Bool("faultsweep", false, "also run the graceful-degradation fault sweep")
 		recovery   = flag.String("recovery", "excise", "fault-sweep recovery mode: excise or rollback")
 		asJSON     = flag.Bool("json", false, "emit figures as JSON instead of text tables")
@@ -186,6 +187,14 @@ func main() {
 	}
 	if *fleet {
 		out, err := s.FleetSweep()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+	if *fleetFault {
+		out, err := s.FleetFaultSweep()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "figures:", err)
 			os.Exit(1)

@@ -50,11 +50,14 @@ type output struct {
 	Micro map[string]microResult `json:"micro"`
 
 	// QuickSuite is the wall clock of regenerating Figures 4-10 plus
-	// the headline over the 3-benchmark quick subset.
+	// the headline over the 3-benchmark quick subset. FleetFault is the
+	// quick fleet fault-tolerance sweep (quarantine/retry/deadline
+	// policies), measured separately because it runs whole fleets.
 	QuickSuite struct {
-		Serial   suiteResult `json:"serial"`
-		Parallel suiteResult `json:"parallel"`
-		Speedup  float64     `json:"speedup"`
+		Serial     suiteResult `json:"serial"`
+		Parallel   suiteResult `json:"parallel"`
+		Speedup    float64     `json:"speedup"`
+		FleetFault suiteResult `json:"fleet_fault"`
 	} `json:"quick_suite"`
 
 	// PrePR pins the numbers measured at the commit before the perf PR
@@ -218,6 +221,16 @@ func main() {
 	out.QuickSuite.Serial = suiteResult{Workers: 1, Seconds: serial}
 	out.QuickSuite.Parallel = suiteResult{Workers: *workers, Seconds: par}
 	out.QuickSuite.Speedup = serial / par
+
+	fmt.Fprintln(os.Stderr, "simbench: quick fleet fault-tolerance sweep...")
+	ffStart := time.Now()
+	ffSuite := bench.NewSuite()
+	ffSuite.Quick = true
+	if _, err := ffSuite.FleetFaultSweep(); err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(1)
+	}
+	out.QuickSuite.FleetFault = suiteResult{Workers: 1, Seconds: time.Since(ffStart).Seconds()}
 
 	out.PrePR.SimKernelNsPerOp = 19_700_000
 	out.PrePR.SimKernelAllocsPerOp = 89_763

@@ -26,6 +26,16 @@
 //
 //	tilevm -guests 164.gzip,181.mcf,176.gcc,164.gzip -grid 8x8
 //	tilevm -guests 164.gzip,181.mcf -lend=false -v
+//
+// Fleet runs compose with fail-stop fault plans: a fault that kills a
+// slot tile quarantines the whole slot, and its guest is retried on the
+// survivors (with deterministic backoff), restored from the latest
+// checkpoint when -recovery rollback is on, until -max-attempts or its
+// -deadline runs out:
+//
+//	tilevm -guests 164.gzip,181.mcf,164.gzip -grid 8x8 -fault-plan 'fail:9@500000'
+//	tilevm -guests 181.mcf,164.gzip -fault-plan 'fail:12@1000000' -recovery rollback -v
+//	tilevm -guests 164.gzip,181.mcf -deadline 8000000 -max-attempts 2 -v
 package main
 
 import (
@@ -55,6 +65,10 @@ func main() {
 		guests     = flag.String("guests", "", "comma-separated workload names to run as a fleet of VMs (e.g. 164.gzip,181.mcf)")
 		grid       = flag.String("grid", "4x4", "fabric size WxH for fleet mode (requires -guests)")
 		lendFlag   = flag.Bool("lend", true, "fleet mode: lend idle translation slaves to the most backed-up VM")
+		deadline   = flag.Uint64("deadline", 0, "fleet mode: per-guest virtual-cycle deadline; guests still running at the deadline are cancelled (0 = none)")
+		maxAtt     = flag.Int("max-attempts", 0, "fleet mode: admission attempts per guest before it is aborted (0 = default)")
+		retryBack  = flag.Uint64("retry-backoff", 0, "fleet mode: base virtual-cycle backoff before re-admitting a quarantined guest (0 = default)")
+		retrySeed  = flag.Uint64("retry-seed", 0, "fleet mode: seed for the deterministic retry-backoff jitter")
 		slaves     = flag.Int("slaves", 6, "translation slave tiles (1-9)")
 		spec       = flag.Bool("speculate", true, "speculative parallel translation")
 		l15        = flag.Int("l15", 2, "L1.5 code cache banks (0-2)")
@@ -124,17 +138,25 @@ func main() {
 	// name — before building a single guest image.
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-	if (set["grid"] || set["lend"]) && *guests == "" {
-		die(fmt.Errorf("-grid/-lend require -guests (fleet mode)"))
+	for _, fleetOnly := range []string{
+		"grid", "lend", "deadline", "max-attempts", "retry-backoff", "retry-seed",
+	} {
+		if set[fleetOnly] && *guests == "" {
+			die(fmt.Errorf("-%s requires -guests (fleet mode)", fleetOnly))
+		}
 	}
 	var fleetNames []string
 	var fleetSlots int
 	fleetCfg := core.DefaultConfig()
 	if *guests != "" {
+		// -fault-plan, -fault-seed, -recovery, and -checkpoint-interval
+		// compose with fleet mode: fail-stop plans drive slot quarantine,
+		// and rollback mode restores retried guests from their latest
+		// checkpoint. Everything that fixes per-VM resources or wraps the
+		// run in the record/replay harness stays single-machine-only.
 		for _, conflict := range []string{
 			"image", "workload", "slaves", "l15", "membanks", "morph", "threshold",
-			"fault-plan", "fault-seed", "fault-norecover", "recovery",
-			"checkpoint-interval", "record", "replay", "replay-diff", "dump",
+			"fault-norecover", "record", "replay", "replay-diff", "dump",
 			"dispatch-trace",
 		} {
 			if set[conflict] {
@@ -149,8 +171,18 @@ func main() {
 		fleetCfg.Optimize = *optimize
 		fleetCfg.ConservativeFlags = !*optimize
 		fleetCfg.Speculative = *spec
+		fleetCfg.Recovery = recMode
+		fleetCfg.CheckpointInterval = *ckEvery
 		if *maxCycles != 0 {
 			fleetCfg.MaxCycles = *maxCycles
+		}
+		if *faultPlan != "" {
+			plan, err := fault.ParsePlan(*faultPlan) // syntax validated above
+			if err != nil {
+				die(err)
+			}
+			plan.Seed = *faultSeed
+			fleetCfg.Fault = plan
 		}
 		fleetSlots, err = core.FleetSlots(fleetCfg.Params)
 		if err != nil {
@@ -212,7 +244,13 @@ func main() {
 			trc = core.NewTracerFor(fleetCfg.Params, *traceEvery)
 			fleetCfg.Tracer = trc
 		}
-		res, err := core.RunFleet(imgs, fleetCfg, core.FleetConfig{Lend: *lendFlag})
+		res, err := core.RunFleet(imgs, fleetCfg, core.FleetConfig{
+			Lend:         *lendFlag,
+			MaxAttempts:  *maxAtt,
+			RetryBackoff: *retryBack,
+			RetrySeed:    *retrySeed,
+			Deadline:     *deadline,
+		})
 		if trc != nil && res != nil {
 			if werr := writeTrace(trc, *tracePath); werr != nil {
 				die(werr)
@@ -375,15 +413,29 @@ func parseGrid(s string) (w, h int, err error) {
 // With -v each guest's stdout follows, labeled.
 func reportFleet(res *core.FleetResult, names []string, capacity int, verbose bool) {
 	for gi, g := range res.Guests {
-		if g.Result == nil {
-			fmt.Printf("guest %-2d  : %-12s never admitted\n", gi, names[gi])
-			continue
+		switch {
+		case g.Status == core.GuestFinished && g.Result != nil:
+			attempts := ""
+			if g.Attempts > 1 {
+				attempts = fmt.Sprintf("  attempts %d", g.Attempts)
+			}
+			fmt.Printf("guest %-2d  : %-12s slot %d  admitted %12d  finished %12d  exit %d%s\n",
+				gi, names[gi], g.Slot, g.Admitted, g.Finished, g.ExitCode, attempts)
+		case g.Err != nil:
+			fmt.Printf("guest %-2d  : %-12s %s: %v\n", gi, names[gi], g.Status, g.Err)
+		default:
+			fmt.Printf("guest %-2d  : %-12s %s\n", gi, names[gi], g.Status)
 		}
-		fmt.Printf("guest %-2d  : %-12s slot %d  admitted %12d  finished %12d  exit %d\n",
-			gi, names[gi], g.Slot, g.Admitted, g.Finished, g.ExitCode)
 	}
 	fmt.Printf("fleet     : %d guests on %d slots (fabric fits %d), makespan %d cycles, utilization %.1f%%\n",
 		len(res.Guests), res.Slots, capacity, res.Makespan, 100*res.Utilization)
+	f := &res.Fleet
+	if f.SlotsQuarantined > 0 || f.GuestsRetried > 0 || f.GuestsAborted > 0 || f.DeadlineTotal > 0 {
+		fmt.Printf("policy    : %d slots quarantined, %d retries, %d aborted, %d deadline-exceeded\n",
+			f.SlotsQuarantined, f.GuestsRetried, f.GuestsAborted, f.GuestsDeadlineExceeded)
+		fmt.Printf("goodput   : %.3f insts/cycle, SLO attainment %.0f%% (%d/%d deadlines met)\n",
+			f.Goodput(res.Makespan), 100*f.SLOAttainment(), f.DeadlineMet, f.DeadlineTotal)
+	}
 	if !verbose {
 		return
 	}

@@ -56,6 +56,20 @@ type engine struct {
 	lend    bool
 	homeMgr map[int]int
 	vmLabel string
+	// Fleet fault-tolerance hooks (all zero/nil outside fleet-fault
+	// mode, so the paths they gate never run and fault-free fleets stay
+	// bit-identical to the pre-policy scheduler). cancelled marks this
+	// engine's guest as aborted (quarantine or deadline): the exec
+	// kernel breaks out of its dispatch loop and the manager stops
+	// broadcasting for help. trackWork extends the robust-only
+	// outstanding-work bookkeeping to non-robust fleet engines so the
+	// supervisor can re-queue work stranded on a quarantined slave — the
+	// bookkeeping is host-side only, invisible on the network. fleetDead
+	// is the fleet-wide set of fail-stopped tiles, shared by every
+	// engine; managers consult it before parking a returned slave.
+	cancelled bool
+	trackWork bool
+	fleetDead map[int]bool
 
 	// Self-modifying-code tracking (single-threaded in virtual time,
 	// shared between the execution tile's detector and the manager's

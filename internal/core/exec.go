@@ -43,6 +43,13 @@ func (e *engine) execKernel(c *raw.TileCtx) {
 	trc := e.trc()
 
 	for {
+		// A fleet supervisor cancels a guest (deadline exceeded, slot
+		// quarantined) by setting cancelled; the dispatch boundary is the
+		// one point where no request is in flight, so breaking here
+		// strands nothing on the network.
+		if e.cancelled {
+			break
+		}
 		// Checkpoint at the dispatch boundary: the one point where the
 		// guest has no request in flight, so a snapshot here plus the
 		// service tiles' own state is the whole machine. The live

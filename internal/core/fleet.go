@@ -4,8 +4,11 @@ import (
 	"fmt"
 
 	"tilevm/internal/checkpoint"
+	"tilevm/internal/fault"
 	"tilevm/internal/guest"
+	"tilevm/internal/metrics"
 	"tilevm/internal/raw"
+	"tilevm/internal/sim"
 	"tilevm/internal/translate"
 )
 
@@ -26,6 +29,11 @@ import (
 // in-flight translations, then the remaining service tiles flush and
 // ack — so no state or message of a finished guest can leak into its
 // successor.
+//
+// A fleet run may additionally carry a fail-stop fault plan and
+// per-guest deadlines; the policy layer that turns tile failures into
+// slot quarantines, guest retries, and deadline cancellations lives in
+// fleetpolicy.go.
 
 // FleetConfig selects fleet-level policy knobs.
 type FleetConfig struct {
@@ -35,18 +43,46 @@ type FleetConfig struct {
 	// MaxSlots caps the number of carved VM slots (0 = as many slots as
 	// fit the fabric, never more than the number of guests).
 	MaxSlots int
+
+	// MaxAttempts caps how many times one guest may be admitted to a
+	// slot (first run plus retries after quarantines). 0 means
+	// DefaultMaxAttempts.
+	MaxAttempts int
+	// RetryBackoff is the base re-admission delay in virtual cycles
+	// after a guest's slot is quarantined; the actual delay grows
+	// exponentially with the attempt count plus a seeded jitter
+	// (retryBackoff). 0 means DefaultRetryBackoff.
+	RetryBackoff uint64
+	// RetrySeed seeds the deterministic backoff jitter.
+	RetrySeed uint64
+	// Deadline, when nonzero, is an absolute virtual-cycle deadline
+	// applied to every guest: a guest not finished by then is cancelled
+	// and reported with a DeadlineError.
+	Deadline uint64
+	// Deadlines optionally overrides Deadline per guest (index-aligned
+	// with imgs; 0 entries fall back to Deadline). Length must be zero
+	// or len(imgs).
+	Deadlines []uint64
 }
 
 // GuestResult is one guest's outcome within a fleet run.
 type GuestResult struct {
-	// Result is nil only when the simulation aborted before the guest
-	// was admitted to a slot.
+	// Result is nil when the guest produced no final state: it was never
+	// admitted to a slot, or it ended GuestAborted / GuestDeadlineExceeded.
 	*Result
-	// Slot is the VM slot index the guest ran in (-1 if never admitted).
+	// Status is the guest's terminal disposition; Err carries the
+	// structured DeadlineError or AbortError when Status is a failure.
+	Status GuestStatus
+	Err    error
+	// Attempts counts admissions (0 if the guest was never admitted).
+	Attempts int
+	// Slot is the VM slot index the guest last ran in (-1 if never
+	// admitted).
 	Slot int
 	// Admitted and Finished are the virtual cycles at which the guest
-	// was bound to its slot and at which it exited. The first S guests
-	// start at cycle 0; queued guests are admitted when a slot frees.
+	// was (last) bound to its slot and at which it exited. The first S
+	// guests start at cycle 0; queued guests are admitted when a slot
+	// frees.
 	Admitted uint64
 	Finished uint64
 }
@@ -63,6 +99,29 @@ type FleetResult struct {
 	TileBusy []uint64
 	// Utilization is sum(TileBusy) / (tiles × Makespan).
 	Utilization float64
+	// Fleet is the fleet-level policy counter set (all zero on a
+	// fault-free, deadline-free run).
+	Fleet metrics.FleetSet
+}
+
+// guestPhase is a guest's scheduling state inside the fleet run. The
+// zero value is phaseQueued so the admission queue needs no explicit
+// initialization.
+type guestPhase uint8
+
+const (
+	phaseQueued guestPhase = iota
+	phaseRunning
+	phaseFinished
+	phaseAborted
+	phaseDeadline
+)
+
+// pendingGuest is one admission-queue entry: guest gi becomes eligible
+// at virtual cycle release (0 = immediately).
+type pendingGuest struct {
+	gi      int
+	release uint64
 }
 
 // slotHost is a slot's mutable binding to its current guest engine;
@@ -70,6 +129,11 @@ type FleetResult struct {
 type slotHost struct {
 	cur   *engine
 	guest int
+	// quarantined marks the slot excised from the carve; procs holds the
+	// slot tiles' simulator processes so the supervisor can daemon-mark
+	// them at quarantine time.
+	quarantined bool
+	procs       []*sim.Proc
 }
 
 // fleetRun is the host-side fleet scheduler state. The discrete-event
@@ -92,9 +156,31 @@ type fleetRun struct {
 	slotOf   []int
 	admitted []uint64
 	finished []uint64
+	attempts []int
+	phase    []guestPhase
+	errs     []error
+	deadline []uint64 // effective per-guest deadline (0 = none)
+	cks      []*checkpoint.Checkpointer
 
-	next      int // next guest index awaiting admission
-	remaining int // guests not yet exited; 0 stops the simulation
+	// Admission queue: guests waiting for a slot, in admission order.
+	queue []pendingGuest
+
+	// Fault-policy state (fleetpolicy.go). plan is non-nil only when the
+	// fault plan has fail-stop clauses; horizon is the last fail cycle
+	// (idle slots must stay alive until then — a quarantine may still
+	// re-queue a guest). dead and slotQuarantined record excised tiles
+	// and slots; slotIdx maps every carved tile to its slot.
+	plan            *fault.Plan
+	horizon         uint64
+	dead            map[int]bool
+	slotQuarantined map[int]bool
+	slotIdx         map[int]int
+	events          []uint64
+	maxAttempts     int
+	backoffBase     uint64
+	fleet           metrics.FleetSet
+
+	remaining int // guests not yet terminal; 0 stops the simulation
 }
 
 // RunFleet executes N guests as a fleet of virtual machines sharing
@@ -103,6 +189,13 @@ type fleetRun struct {
 // counts are fixed by the slot shape. Results are deterministic:
 // repeated runs are byte-identical, and each guest's final state hash
 // equals its solo-run hash regardless of slot assignment or lending.
+//
+// cfg.Fault may carry a fail-stop/stall plan (validateFleetFaultPlan);
+// fail-stops quarantine the slot they hit and the victim guest is
+// retried per fc's policy knobs. With cfg.Recovery==RecoverRollback
+// (or CheckpointInterval set) guests checkpoint at their dispatch
+// boundary and a retry resumes from the latest snapshot instead of the
+// image.
 func RunFleet(imgs []*guest.Image, cfg Config, fc FleetConfig) (*FleetResult, error) {
 	if len(imgs) == 0 {
 		return nil, fmt.Errorf("core: fleet mode needs at least one guest")
@@ -113,14 +206,18 @@ func RunFleet(imgs []*guest.Image, cfg Config, fc FleetConfig) (*FleetResult, er
 	if cfg.Morph {
 		return nil, fmt.Errorf("core: intra-VM morphing and fleet mode are mutually exclusive")
 	}
-	if !cfg.Fault.Empty() {
-		return nil, fmt.Errorf("core: fault injection is not supported in fleet mode")
-	}
-	if cfg.Recovery == RecoverRollback || cfg.CheckpointInterval > 0 {
-		return nil, fmt.Errorf("core: checkpoint/rollback recovery is not supported in fleet mode")
-	}
 	if cfg.Journal != nil {
 		return nil, fmt.Errorf("core: record-replay is not supported in fleet mode")
+	}
+	if fc.MaxAttempts < 0 {
+		return nil, fmt.Errorf("core: fleet MaxAttempts must be non-negative, got %d", fc.MaxAttempts)
+	}
+	if len(fc.Deadlines) != 0 && len(fc.Deadlines) != len(imgs) {
+		return nil, fmt.Errorf("core: %d per-guest deadlines for %d guests (need none or one per guest)",
+			len(fc.Deadlines), len(imgs))
+	}
+	if cfg.Recovery == RecoverRollback && cfg.CheckpointInterval == 0 {
+		cfg.CheckpointInterval = DefaultCheckpointInterval
 	}
 	slots, err := carveFabric(cfg.Params, 0)
 	if err != nil {
@@ -136,21 +233,76 @@ func RunFleet(imgs []*guest.Image, cfg Config, fc FleetConfig) (*FleetResult, er
 	if len(slots) > len(imgs) {
 		slots = slots[:len(imgs)]
 	}
+	if !cfg.Fault.Empty() {
+		if err := validateFleetFaultPlan(cfg.Fault, slots, cfg.Params); err != nil {
+			return nil, err
+		}
+	}
 
 	fl := &fleetRun{
-		cfg:       cfg,
-		fc:        fc,
-		m:         raw.NewMachine(cfg.Params),
-		imgs:      imgs,
-		slots:     slots,
-		hosts:     make([]*slotHost, len(slots)),
-		peers:     make([][]int, len(slots)),
-		homeMgr:   map[int]int{},
-		engines:   make([]*engine, len(imgs)),
-		slotOf:    make([]int, len(imgs)),
-		admitted:  make([]uint64, len(imgs)),
-		finished:  make([]uint64, len(imgs)),
-		remaining: len(imgs),
+		cfg:             cfg,
+		fc:              fc,
+		m:               raw.NewMachine(cfg.Params),
+		imgs:            imgs,
+		slots:           slots,
+		hosts:           make([]*slotHost, len(slots)),
+		peers:           make([][]int, len(slots)),
+		homeMgr:         map[int]int{},
+		engines:         make([]*engine, len(imgs)),
+		slotOf:          make([]int, len(imgs)),
+		admitted:        make([]uint64, len(imgs)),
+		finished:        make([]uint64, len(imgs)),
+		attempts:        make([]int, len(imgs)),
+		phase:           make([]guestPhase, len(imgs)),
+		errs:            make([]error, len(imgs)),
+		deadline:        make([]uint64, len(imgs)),
+		slotQuarantined: map[int]bool{},
+		slotIdx:         slotIndexOf(slots),
+		maxAttempts:     fc.MaxAttempts,
+		backoffBase:     fc.RetryBackoff,
+		remaining:       len(imgs),
+	}
+	if fl.maxAttempts == 0 {
+		fl.maxAttempts = DefaultMaxAttempts
+	}
+	if fl.backoffBase == 0 {
+		fl.backoffBase = DefaultRetryBackoff
+	}
+	for gi := range fl.deadline {
+		fl.deadline[gi] = fc.Deadline
+		if len(fc.Deadlines) > 0 && fc.Deadlines[gi] > 0 {
+			fl.deadline[gi] = fc.Deadlines[gi]
+		}
+		if fl.deadline[gi] > 0 {
+			fl.fleet.DeadlineTotal++
+		}
+	}
+	if !cfg.Fault.Empty() && len(cfg.Fault.Fails) > 0 {
+		// fl.dead non-nil switches the engines into fleet-fault mode
+		// (trackWork bookkeeping, fleetDead guards); it stays nil — and
+		// those paths provably never run — on fail-free plans.
+		fl.plan = fl.cfg.Fault
+		fl.dead = map[int]bool{}
+		for _, f := range fl.plan.Fails {
+			if f.Cycle > fl.horizon {
+				fl.horizon = f.Cycle
+			}
+		}
+	}
+	if !cfg.Fault.Empty() {
+		inj := fault.NewInjector(cfg.Fault)
+		fl.m.Faults = inj
+		if cfg.Tracer != nil {
+			inj.Observe = func(kind fault.Kind, tile int, now uint64) {
+				cfg.Tracer.Instant(tile, "fault", now, "kind", uint64(kind), "", 0)
+			}
+		}
+	}
+	if cfg.CheckpointInterval > 0 {
+		fl.cks = make([]*checkpoint.Checkpointer, len(imgs))
+		for gi := range fl.cks {
+			fl.cks[gi] = checkpoint.NewCheckpointer(cfg.CheckpointInterval)
+		}
 	}
 	fl.m.Sim.SetLimit(cfg.MaxCycles)
 	fl.m.SetTracer(cfg.Tracer)
@@ -167,12 +319,25 @@ func RunFleet(imgs []*guest.Image, cfg Config, fc FleetConfig) (*FleetResult, er
 			}
 		}
 	}
-	// Initial admission: guest i takes slot i.
+	// Initial admission: guest i takes slot i; the rest queue in order.
 	for si := range slots {
 		fl.hosts[si] = &slotHost{cur: fl.newEngine(si, si), guest: si}
+		fl.attempts[si] = 1
+		fl.phase[si] = phaseRunning
 	}
-	fl.next = len(slots)
+	for gi := len(slots); gi < len(imgs); gi++ {
+		fl.queue = append(fl.queue, pendingGuest{gi: gi})
+	}
 	fl.spawnSlots()
+	// The supervisor is spawned last — after every tile kernel — so at a
+	// shared cycle it observes the tiles' work before acting: a guest
+	// finishing exactly at a fail or deadline cycle has already finished.
+	// With no fail-stops and no deadlines there are no events and no
+	// supervisor: the run is bit-identical to the policy-free scheduler.
+	fl.events = fl.policyEvents()
+	if len(fl.events) > 0 {
+		fl.m.Sim.Spawn("fleet-supervisor", fl.supervise)
+	}
 
 	simErr := fl.m.Run()
 
@@ -181,7 +346,7 @@ func RunFleet(imgs []*guest.Image, cfg Config, fc FleetConfig) (*FleetResult, er
 		return res, fmt.Errorf("core: fleet simulation failed: %w", simErr)
 	}
 	for gi, e := range fl.engines {
-		if e != nil && e.execErr != nil {
+		if e != nil && e.execErr != nil && !e.cancelled {
 			return res, fmt.Errorf("core: guest %d failed: %w", gi, e.execErr)
 		}
 	}
@@ -205,8 +370,18 @@ func (fl *fleetRun) newEngine(gi, si int) *engine {
 		lend:      fl.fc.Lend,
 		homeMgr:   fl.homeMgr,
 		vmLabel:   fmt.Sprintf("vm%d", gi),
+		trackWork: fl.dead != nil,
+		fleetDead: fl.dead,
+	}
+	if fl.cks != nil {
+		e.ck = fl.cks[gi]
 	}
 	e.onExit = func(c *raw.TileCtx) {
+		if e.cancelled {
+			// Quarantine or deadline: the supervisor already did this
+			// guest's terminal (or re-queue) bookkeeping.
+			return
+		}
 		fl.remaining--
 		if fl.remaining == 0 {
 			c.Stop()
@@ -220,66 +395,171 @@ func (fl *fleetRun) newEngine(gi, si int) *engine {
 
 // spawnSlots registers every slot's tile kernels, each wrapped in a
 // loop that re-binds it to the slot's current engine after a vmSwitch.
+// The slot keeps each tile's process handle so a quarantine can
+// daemon-mark the whole slot.
 func (fl *fleetRun) spawnSlots() {
 	for si := range fl.slots {
 		pl := fl.slots[si]
 		h := fl.hosts[si]
-		fl.m.SpawnTile(pl.exec, "exec", func(c *raw.TileCtx) {
+		add := func(p *sim.Proc) { h.procs = append(h.procs, p) }
+		add(fl.m.SpawnTile(pl.exec, "exec", func(c *raw.TileCtx) {
 			for {
 				e := h.cur
 				e.execKernel(c)
-				fl.finished[h.guest] = e.stopCycles
-				if fl.next >= len(fl.imgs) {
-					// No queued guest: leave the slot's service tiles
-					// running under the finished epoch so its parked
-					// slaves keep serving the surviving VMs.
+				if h.quarantined {
 					return
 				}
-				gi := fl.next
-				fl.next++
-				h.cur = fl.newEngine(gi, si)
-				h.guest = gi
-				fl.admitted[gi] = c.Now()
-				fl.handoff(c, pl)
+				if !e.cancelled {
+					fl.finished[h.guest] = e.stopCycles
+					fl.noteFinished(h.guest, e)
+				}
+				gi, ok := fl.nextGuest(c, h)
+				if !ok {
+					// No queued guest and none can appear: leave the slot's
+					// service tiles running under the finished epoch so its
+					// parked slaves keep serving the surviving VMs.
+					return
+				}
+				fl.admit(c, h, si, gi)
 			}
-		})
-		fl.m.SpawnTile(pl.manager, "manager", func(c *raw.TileCtx) {
+		}))
+		add(fl.m.SpawnTile(pl.manager, "manager", func(c *raw.TileCtx) {
 			for {
 				h.cur.managerKernel(c)
 			}
-		})
-		fl.m.SpawnTile(pl.mmu, "mmu", func(c *raw.TileCtx) {
+		}))
+		add(fl.m.SpawnTile(pl.mmu, "mmu", func(c *raw.TileCtx) {
 			for {
 				h.cur.mmuKernel(c)
 			}
-		})
-		fl.m.SpawnTile(pl.sys, "syscall", func(c *raw.TileCtx) {
+		}))
+		add(fl.m.SpawnTile(pl.sys, "syscall", func(c *raw.TileCtx) {
 			for {
 				h.cur.sysKernel(c)
 			}
-		})
+		}))
 		for _, t := range pl.l15 {
-			fl.m.SpawnTile(t, "l15", func(c *raw.TileCtx) {
+			add(fl.m.SpawnTile(t, "l15", func(c *raw.TileCtx) {
 				for {
 					h.cur.l15Kernel(c)
 				}
-			})
+			}))
 		}
 		for _, t := range pl.slaves {
-			fl.m.SpawnTile(t, "worker", func(c *raw.TileCtx) {
+			add(fl.m.SpawnTile(t, "worker", func(c *raw.TileCtx) {
 				for {
 					h.cur.workerBody(roleSlave)(c)
 				}
-			})
+			}))
 		}
 		for _, t := range pl.banks {
-			fl.m.SpawnTile(t, "worker", func(c *raw.TileCtx) {
+			add(fl.m.SpawnTile(t, "worker", func(c *raw.TileCtx) {
 				for {
 					h.cur.workerBody(roleBank)(c)
 				}
-			})
+			}))
 		}
 	}
+}
+
+// noteFinished records a clean guest exit in the fleet counters.
+func (fl *fleetRun) noteFinished(gi int, e *engine) {
+	fl.phase[gi] = phaseFinished
+	fl.fleet.GuestsFinished++
+	fl.fleet.GoodputInsts += e.stats.HostInsts
+	if d := fl.deadline[gi]; d > 0 && e.stopCycles <= d {
+		fl.fleet.DeadlineMet++
+	}
+}
+
+// nextGuest hands the slot its next guest: the oldest queue entry
+// whose release cycle has passed. When none is eligible yet the slot
+// sleeps (pure idle time — no busy accounting, no messages) until the
+// earliest future release or fail cycle, because a fail-stop may still
+// re-queue a running guest; it retires only when the queue is empty
+// and the fault horizon is past, after which no new work can appear.
+// On a policy-free run the queue holds only release-0 entries and the
+// horizon is 0, so this degrades to the plain FIFO cursor — same
+// claims, same cycles, no extra events.
+func (fl *fleetRun) nextGuest(c *raw.TileCtx, h *slotHost) (int, bool) {
+	for {
+		if h.quarantined {
+			return 0, false
+		}
+		now := c.Now()
+		for qi, pg := range fl.queue {
+			if pg.release <= now {
+				fl.queue = append(fl.queue[:qi], fl.queue[qi+1:]...)
+				return pg.gi, true
+			}
+		}
+		if len(fl.queue) == 0 && now > fl.horizon {
+			return 0, false
+		}
+		next := now + 1
+		found := false
+		cand := func(t uint64) {
+			if t > now && (!found || t < next) {
+				next, found = t, true
+			}
+		}
+		cand(fl.horizon + 1)
+		for _, pg := range fl.queue {
+			cand(pg.release)
+		}
+		if fl.plan != nil {
+			for _, f := range fl.plan.Fails {
+				cand(f.Cycle)
+			}
+		}
+		c.P.Advance(next - now)
+	}
+}
+
+// admit binds guest gi to slot si and runs the vmSwitch handoff. A
+// re-admission (attempt > 1) restarts the guest from its image — or,
+// under rollback recovery, from its latest checkpoint, charging the
+// modeled restore penalty.
+func (fl *fleetRun) admit(c *raw.TileCtx, h *slotHost, si, gi int) {
+	pl := fl.slots[si]
+	h.cur = fl.newEngine(gi, si)
+	h.guest = gi
+	fl.phase[gi] = phaseRunning
+	fl.attempts[gi]++
+	if fl.attempts[gi] > 1 {
+		fl.fleet.GuestsRetried++
+		fl.cfg.Tracer.Instant(pl.exec, "fleet_retry", c.Now(),
+			"guest", uint64(gi), "attempt", uint64(fl.attempts[gi]))
+		fl.restoreForRetry(c, h.cur, gi)
+	}
+	fl.admitted[gi] = c.Now()
+	fl.handoff(c, pl)
+}
+
+// restoreForRetry rebases a re-admitted guest on its latest checkpoint
+// when rollback recovery is on. Either way the guest's checkpointer is
+// re-armed: the new attempt owns a fresh Memory, so the next capture
+// must be a full snapshot, not an incremental diff against the aborted
+// attempt's pages.
+func (fl *fleetRun) restoreForRetry(c *raw.TileCtx, e *engine, gi int) {
+	if fl.cks == nil {
+		return
+	}
+	ck := fl.cks[gi]
+	snap := ck.Last()
+	ck.Rearm()
+	if fl.cfg.Recovery != RecoverRollback || snap == nil {
+		return
+	}
+	e.restore = snap
+	e.applyRestore(snap)
+	P := fl.cfg.Params
+	penalty := P.RollbackFixedOcc + uint64(len(snap.Mem.Pages))*P.RollbackPerPageOcc
+	e.stats.Rollbacks = uint64(fl.attempts[gi] - 1)
+	e.stats.RollbackCycles = penalty
+	c.Tick(penalty)
+	fl.cfg.Tracer.Instant(fl.slots[fl.slotOf[gi]].exec, "rollback", c.Now(),
+		"restore_to", snap.Cycles, "guest", uint64(gi))
 }
 
 // handoff rebinds a slot's service tiles to the next guest's engine.
@@ -320,13 +600,35 @@ func (fl *fleetRun) collect() *FleetResult {
 		Guests:   make([]*GuestResult, len(fl.imgs)),
 		Slots:    len(fl.slots),
 		TileBusy: fl.m.BusyCycles(),
+		Fleet:    fl.fleet,
 	}
 	for gi := range fl.imgs {
-		gr := &GuestResult{Slot: fl.slotOf[gi]}
+		gr := &GuestResult{
+			Slot:     fl.slotOf[gi],
+			Attempts: fl.attempts[gi],
+			Err:      fl.errs[gi],
+		}
 		res.Guests[gi] = gr
+		switch fl.phase[gi] {
+		case phaseFinished:
+			gr.Status = GuestFinished
+		case phaseAborted:
+			gr.Status = GuestAborted
+		case phaseDeadline:
+			gr.Status = GuestDeadlineExceeded
+		default:
+			gr.Status = GuestPending
+		}
 		e := fl.engines[gi]
 		if e == nil {
-			continue // simulation aborted before this guest was admitted
+			continue // never admitted to a slot
+		}
+		gr.Admitted = fl.admitted[gi]
+		gr.Finished = fl.finished[gi]
+		if fl.phase[gi] != phaseFinished && fl.phase[gi] != phaseRunning {
+			// Aborted or deadline-killed: the engine's state is a
+			// mid-flight snapshot of a cancelled attempt, not a result.
+			continue
 		}
 		e.stats.Cycles = e.stopCycles
 		if e.mgr != nil {
@@ -341,8 +643,6 @@ func (fl *fleetRun) collect() *FleetResult {
 			M:         e.stats,
 			StateHash: checkpoint.FinalHash(e.proc),
 		}
-		gr.Admitted = fl.admitted[gi]
-		gr.Finished = fl.finished[gi]
 		if gr.Finished > res.Makespan {
 			res.Makespan = gr.Finished
 		}

@@ -121,12 +121,26 @@ func TestRunFleetRejectsUnsupportedConfigs(t *testing.T) {
 	}{
 		{"no guests", nil, FleetConfig{}, nil, "at least one guest"},
 		{"morph", func(c Config) Config { c.Morph = true; return c }, FleetConfig{}, imgs, "morphing"},
-		{"faults", func(c Config) Config {
-			c.Fault = &fault.Plan{Seed: 1, Fails: []fault.TileFail{{Tile: 3, Cycle: 1000}}}
+		{"probabilistic faults", func(c Config) Config {
+			c.Fault = &fault.Plan{Seed: 1, DropProb: 0.01}
 			return c
-		}, FleetConfig{}, imgs, "fault injection"},
-		{"rollback", func(c Config) Config { c.Recovery = RecoverRollback; return c }, FleetConfig{}, imgs, "rollback"},
-		{"checkpointing", func(c Config) Config { c.CheckpointInterval = 1000; return c }, FleetConfig{}, imgs, "rollback"},
+		}, FleetConfig{}, imgs, "fail: and stall: clauses"},
+		{"fail outside carve", func(c Config) Config {
+			// MaxSlots below truncates the carve to slot 0; tile 8 is in
+			// (un-carved) slot 1's territory.
+			c.Fault = &fault.Plan{Seed: 1, Fails: []fault.TileFail{{Tile: 8, Cycle: 1000}}}
+			return c
+		}, FleetConfig{MaxSlots: 1}, imgs, "no carved VM slot"},
+		{"fail off fabric", func(c Config) Config {
+			c.Fault = &fault.Plan{Seed: 1, Fails: []fault.TileFail{{Tile: 99, Cycle: 1000}}}
+			return c
+		}, FleetConfig{}, imgs, "outside the"},
+		{"fail at cycle zero", func(c Config) Config {
+			c.Fault = &fault.Plan{Seed: 1, Fails: []fault.TileFail{{Tile: 3}}}
+			return c
+		}, FleetConfig{}, imgs, "cycle 0"},
+		{"negative max attempts", nil, FleetConfig{MaxAttempts: -1}, imgs, "non-negative"},
+		{"deadline count mismatch", nil, FleetConfig{Deadlines: []uint64{1, 2}}, imgs, "per-guest deadlines"},
 		{"too many slots", nil, FleetConfig{MaxSlots: 5}, imgs, "fits only"},
 		{"tiny fabric", func(c Config) Config { c.Params.Width, c.Params.Height = 3, 3; return c }, FleetConfig{}, imgs, "fits no"},
 	}

@@ -114,6 +114,13 @@ func (e *engine) managerKernel(c *raw.TileCtx) {
 			st.lastBeat[t] = c.Now()
 		}
 	}
+	if e.trackWork && st.outstanding == nil {
+		// Fleet fault mode: track dispatched work host-side (no network
+		// traffic) so the supervisor can re-queue translations stranded
+		// on a quarantined slave. Deadlines are unused — non-robust
+		// managers never run the watchdog tick.
+		st.outstanding = map[int]outWork{}
+	}
 	if e.restore != nil {
 		e.restoreManager(st)
 	}
@@ -148,12 +155,26 @@ func (e *engine) managerKernel(c *raw.TileCtx) {
 		case smcInval:
 			st.handleSMCInval(m, msg.From)
 		case lendSlave:
-			// A borrowed (or returning) slave joins the parked pool.
+			// A borrowed (or returning) slave joins the parked pool. A
+			// cancelled manager (quarantined slot) sends it home instead:
+			// parking it here would strand a healthy tile at a slot that
+			// will never dispatch again.
 			st.helpOut = 0
-			st.park(m.Slave)
-			st.dispatch()
+			if e.cancelled {
+				if home, ok := e.homeMgr[m.Slave]; ok && home != e.pl.manager {
+					st.c.Send(home, lendReturn{Slave: m.Slave}, wordsCtl)
+				}
+			} else {
+				st.park(m.Slave)
+				st.dispatch()
+			}
 		case lendReturn:
 			st.park(m.Slave)
+			st.dispatch()
+		case slotRepair:
+			// Fleet supervisor repaired this manager's host-side state
+			// after a quarantine; re-run dispatch so re-queued work pairs
+			// with parked slaves.
 			st.dispatch()
 		case helpReq:
 			st.handleHelp(m, msg.From)
@@ -338,6 +359,13 @@ func (st *managerState) sendRebank() {
 // that becomes true (dispatch consults pendingHelp, serving the
 // most-backed-up peer first).
 func (st *managerState) handleHelp(m helpReq, from int) {
+	if st.e.fleetDead != nil && !st.isPeer(from) {
+		// The requester's slot was quarantined after it broadcast; a
+		// grant would strand the slave at a manager that will never
+		// dispatch to it. (fleetDead is nil outside fleet-fault mode, so
+		// this guard never runs — and never perturbs — fault-free runs.)
+		return
+	}
 	if len(st.parked) > 0 && st.queuedLen() == 0 {
 		slave := st.parked[len(st.parked)-1]
 		st.parked = st.parked[:len(st.parked)-1]
@@ -353,12 +381,26 @@ func (st *managerState) handleHelp(m helpReq, from int) {
 // manager, while the foreign manager may still lend or return the same
 // tile.
 func (st *managerState) park(slave int) {
+	if st.e.fleetDead != nil && st.e.fleetDead[slave] {
+		return // fail-stopped tile; a late lend/return must not revive it
+	}
 	for _, s := range st.parked {
 		if s == slave {
 			return
 		}
 	}
 	st.parked = append(st.parked, slave)
+}
+
+// isPeer reports whether tile is one of this engine's current fleet
+// peers (quarantined slots are pruned from the list by the supervisor).
+func (st *managerState) isPeer(tile int) bool {
+	for _, p := range st.e.peers {
+		if p == tile {
+			return true
+		}
+	}
+	return false
 }
 
 // neediestPeer picks the deferred help request with the deepest
@@ -599,7 +641,7 @@ func (st *managerState) dispatch() {
 		en := st.entry(pc)
 		en.queued = false
 		en.inflight = true
-		if st.e.robust {
+		if st.e.robust || st.e.trackWork {
 			st.outstanding[slave] = outWork{pc: pc, depth: depth,
 				deadline: st.c.Now() + st.e.cfg.Params.WorkWatchdog}
 		}
@@ -620,7 +662,7 @@ func (st *managerState) dispatch() {
 		st.parked = st.parked[:len(st.parked)-1]
 		delete(st.pendingHelp, peer)
 		st.c.Send(peer, lendSlave{Slave: slave}, wordsCtl)
-	case len(st.parked) == 0 && st.queuedLen() > 0 && st.helpOut == 0:
+	case len(st.parked) == 0 && st.queuedLen() > 0 && st.helpOut == 0 && !st.e.cancelled:
 		q := st.queuedLen()
 		for _, p := range st.e.peers {
 			st.c.Send(p, helpReq{QLen: q}, wordsCtl)
@@ -659,7 +701,7 @@ func (st *managerState) staleSMC(m transDone) bool {
 // merely slow rather than lost.
 func (st *managerState) handleTransDone(m transDone, from int) {
 	P := st.e.cfg.Params
-	if st.e.robust {
+	if st.e.robust || st.e.trackWork {
 		if ow, ok := st.outstanding[from]; ok && ow.pc == m.PC {
 			delete(st.outstanding, from)
 		}

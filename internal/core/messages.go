@@ -98,6 +98,13 @@ type helpReq struct {
 // still-starved manager may ask again.
 type helpDeny struct{}
 
+// slotRepair kicks a manager's dispatch loop after the fleet
+// supervisor repaired its host-side state (re-queued work stranded on
+// a quarantined slave, pruned dead peers). It carries no data; the
+// manager just re-runs dispatch so repaired queue entries pair with
+// parked slaves.
+type slotRepair struct{}
+
 // vmSwitch tells a slot's service tile to retire its current VM epoch
 // for a fleet slot handoff: the manager drains its in-flight
 // translations, workers flush their data banks, and every receiver

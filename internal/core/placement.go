@@ -119,3 +119,89 @@ func FleetSlots(p raw.Params) (int, error) {
 	}
 	return len(slots), nil
 }
+
+// tiles lists every tile a placement occupies, in a fixed service-role
+// order (sys, l15…, slaves…, manager, exec, mmu, banks…). For a fleet
+// slot the list has exactly slotTiles entries and no duplicates.
+func (pl *placement) tiles() []int {
+	out := []int{pl.sys}
+	out = append(out, pl.l15...)
+	out = append(out, pl.slaves...)
+	out = append(out, pl.manager, pl.exec, pl.mmu)
+	out = append(out, pl.banks...)
+	return out
+}
+
+// FleetSlot is the public shape of one carved VM slot: which tile holds
+// each service role. Benchmarks and fault-plan authors use it to aim
+// fail clauses at a specific slot's manager or slave without
+// hard-coding the carve order.
+type FleetSlot struct {
+	Sys     int
+	L15     []int
+	Slaves  []int
+	Manager int
+	Exec    int
+	MMU     int
+	Banks   []int
+}
+
+// FleetSlotLayout carves the fabric exactly as RunFleet would and
+// returns the slot layouts in carve order. It is the read-only twin of
+// the internal carve, kept in lockstep by TestFleetSlotLayoutMatchesCarve.
+func FleetSlotLayout(p raw.Params) ([]FleetSlot, error) {
+	slots, err := carveFabric(p, 0)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]FleetSlot, len(slots))
+	for i, pl := range slots {
+		out[i] = FleetSlot{
+			Sys:     pl.sys,
+			L15:     append([]int(nil), pl.l15...),
+			Slaves:  append([]int(nil), pl.slaves...),
+			Manager: pl.manager,
+			Exec:    pl.exec,
+			MMU:     pl.mmu,
+			Banks:   append([]int(nil), pl.banks...),
+		}
+	}
+	return out, nil
+}
+
+// slotIndexOf maps every tile of every slot to its slot index, for
+// translating a fault plan's tile targets into slot quarantines.
+func slotIndexOf(slots []placement) map[int]int {
+	m := map[int]int{}
+	for si := range slots {
+		for _, t := range slots[si].tiles() {
+			m[t] = si
+		}
+	}
+	return m
+}
+
+// survivorsAfter returns the slot indices not quarantined, in carve
+// order. It validates the surviving slots are still disjoint and
+// in-bounds — a quarantine only ever removes whole slots, so a
+// violation here means the carve itself was corrupted.
+func survivorsAfter(p raw.Params, slots []placement, quarantined map[int]bool) ([]int, error) {
+	seen := map[int]int{}
+	var out []int
+	for si := range slots {
+		if quarantined[si] {
+			continue
+		}
+		for _, t := range slots[si].tiles() {
+			if t < 0 || t >= p.Tiles() {
+				return nil, fmt.Errorf("core: slot %d tile %d outside the %d×%d fabric", si, t, p.Width, p.Height)
+			}
+			if prev, dup := seen[t]; dup {
+				return nil, fmt.Errorf("core: slots %d and %d overlap at tile %d", prev, si, t)
+			}
+			seen[t] = si
+		}
+		out = append(out, si)
+	}
+	return out, nil
+}

@@ -69,6 +69,38 @@ type Set struct {
 	FaultMsgsRecycled uint64 // dropped/corrupted pooled messages safely reclaimed
 }
 
+// FleetSet is the fleet-level counter set: admission, retry, and
+// fault-policy outcomes that have no single-guest equivalent. All
+// fields stay zero on a fault-free, deadline-free fleet run.
+type FleetSet struct {
+	GuestsFinished         uint64 // guests that ran to a clean exit
+	GuestsRetried          uint64 // re-admissions after a slot quarantine
+	GuestsAborted          uint64 // guests terminal after exhausting MaxAttempts
+	GuestsDeadlineExceeded uint64 // guests cancelled at their deadline
+	SlotsQuarantined       uint64 // slots excised from the carve
+	DeadlineMet            uint64 // finished guests that beat their deadline
+	DeadlineTotal          uint64 // guests that had a deadline at all
+	GoodputInsts           uint64 // host instructions retired by finished guests
+}
+
+// SLOAttainment is the fraction of deadline-carrying guests that
+// finished in time; 1 when no guest had a deadline (vacuously met).
+func (f *FleetSet) SLOAttainment() float64 {
+	if f.DeadlineTotal == 0 {
+		return 1
+	}
+	return float64(f.DeadlineMet) / float64(f.DeadlineTotal)
+}
+
+// Goodput is useful host instructions per cycle of makespan: work
+// from aborted or deadline-killed attempts counts for nothing.
+func (f *FleetSet) Goodput(makespan uint64) float64 {
+	if makespan == 0 {
+		return 0
+	}
+	return float64(f.GoodputInsts) / float64(makespan)
+}
+
 // L2CAccessesPerCycle is Figure 6's metric.
 func (s *Set) L2CAccessesPerCycle() float64 {
 	if s.Cycles == 0 {

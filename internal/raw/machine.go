@@ -77,9 +77,12 @@ func (m *Machine) SetTracer(t *trace.Tracer) {
 func (m *Machine) Tracer() *trace.Tracer { return m.trc }
 
 // SpawnTile registers a kernel process for a tile. The body receives a
-// TileCtx bound to the tile's inbox and grid position.
-func (m *Machine) SpawnTile(id int, name string, body func(*TileCtx)) {
-	m.Sim.Spawn(fmt.Sprintf("%s@%d", name, id), func(p *sim.Proc) {
+// TileCtx bound to the tile's inbox and grid position. The returned
+// process handle lets host-side supervisors daemon-mark or inspect the
+// kernel (fleet quarantine uses this to excuse a dead slot's tiles from
+// deadlock detection).
+func (m *Machine) SpawnTile(id int, name string, body func(*TileCtx)) *sim.Proc {
+	return m.Sim.Spawn(fmt.Sprintf("%s@%d", name, id), func(p *sim.Proc) {
 		body(&TileCtx{M: m, Tile: id, P: p})
 	})
 }

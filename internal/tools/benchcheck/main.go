@@ -1,6 +1,7 @@
 // Command benchcheck is the perf-regression smoke gate: it re-measures
-// the headline simulator benchmarks (the machine_run_gzip micro and
-// the serial quick figure suite) and compares them against the
+// the headline simulator benchmarks (the machine_run_gzip micro, the
+// serial quick figure suite, and the quick fleet fault-tolerance
+// sweep) and compares them against the
 // recorded trajectory in BENCH_sim.json. A metric that regresses
 // beyond its tolerance fails the run. Tolerances are deliberately
 // generous — shared CI hosts are noisy — so only a structural
@@ -35,6 +36,9 @@ type baseline struct {
 		Serial struct {
 			Seconds float64 `json:"seconds"`
 		} `json:"serial"`
+		FleetFault struct {
+			Seconds float64 `json:"seconds"`
+		} `json:"fleet_fault"`
 	} `json:"quick_suite"`
 }
 
@@ -119,6 +123,20 @@ func measureQuickSuite() (float64, error) {
 	return time.Since(start).Seconds(), nil
 }
 
+// measureFleetFaultSweep times the quick fleet fault-tolerance sweep —
+// the faults×policy matrix exercises quarantine, retry, and deadline
+// enforcement end to end, so a structural slowdown in the fleet policy
+// layer shows up here rather than in the single-machine metrics.
+func measureFleetFaultSweep() (float64, error) {
+	s := bench.NewSuite()
+	s.Quick = true
+	start := time.Now()
+	if _, err := s.FleetFaultSweep(); err != nil {
+		return 0, err
+	}
+	return time.Since(start).Seconds(), nil
+}
+
 func main() {
 	var (
 		basePath  = flag.String("baseline", "BENCH_sim.json", "recorded trajectory to compare against")
@@ -153,6 +171,14 @@ func main() {
 			os.Exit(1)
 		}
 		ms = append(ms, metric{"quick_suite serial seconds", base.QuickSuite.Serial.Seconds, secs, *timeTol})
+
+		fmt.Fprintln(os.Stderr, "benchcheck: running quick fleet fault-tolerance sweep...")
+		ffSecs, err := measureFleetFaultSweep()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(1)
+		}
+		ms = append(ms, metric{"quick_suite fleet_fault seconds", base.QuickSuite.FleetFault.Seconds, ffSecs, *timeTol})
 	}
 
 	lines, violations := evaluate(ms)
