@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race racepar race-fleet cover-fleet bench bench-check fuzz fuzz-smoke replay-smoke trace-smoke fleet-smoke fleet-fault-smoke linkcheck
+.PHONY: check vet build test race racepar race-fleet race-sim cover-fleet bench bench-check fuzz fuzz-smoke replay-smoke trace-smoke fleet-smoke fleet-fault-smoke linkcheck
 
 # The full gate: what CI (and a pre-commit) should run.
 check: vet build test racepar
@@ -33,6 +33,18 @@ racepar:
 race-fleet:
 	$(GO) test -race -run 'TestFleet|TestCarve|TestMultiVM|TestPairMatches|TestRunFleet' ./internal/core
 	$(GO) test -race -run 'TestFleetSweepQuick|TestFleetFaultSweepQuick' ./internal/bench
+
+# Sharded event loop under the race detector: the fleet invariance
+# battery (bit-identical FleetResult at workers 2, 4, and 8 — the
+# tests iterate the worker counts internally) plus the sim-level
+# cross-shard battery (delivery order, lookahead tripwire, fence
+# ordering, stop/limit/deadlock parity, heap compaction). The race
+# detector checks the conservative-lookahead synchronization for free:
+# any unfenced cross-shard access is a reported race. Generous timeout
+# — race mode is 10-20x slower and CI hosts are oversubscribed.
+race-sim:
+	$(GO) test -race -timeout 1500s -run TestFleetParallel ./internal/core
+	$(GO) test -race -timeout 900s -run 'TestCrossShard|TestFence|TestSharded|TestCompact' ./internal/sim
 
 # Coverage summary for the fleet/placement layer (the code this PR's
 # test battery is aimed at).

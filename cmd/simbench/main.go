@@ -39,6 +39,9 @@ type microResult struct {
 type suiteResult struct {
 	Workers int     `json:"workers"`
 	Seconds float64 `json:"seconds"`
+	// HostCPUs pins the CPU count the entry was measured on: a speedup
+	// figure is meaningless without it (a 1-CPU host cannot exceed 1x).
+	HostCPUs int `json:"host_cpus"`
 }
 
 type output struct {
@@ -59,6 +62,13 @@ type output struct {
 		Speedup    float64     `json:"speedup"`
 		FleetFault suiteResult `json:"fleet_fault"`
 	} `json:"quick_suite"`
+
+	// ParallelSim is the sharded-event-loop benchmark: one
+	// oversubscribed 12-guest fleet on an 8×8 fabric, run on the serial
+	// loop and on the sharded engine. Identical must always be true —
+	// that is the engine's bit-for-bit contract; Speedup only means
+	// anything when host_cpus > 1.
+	ParallelSim *bench.FleetParallelResult `json:"parallel_sim"`
 
 	// PrePR pins the numbers measured at the commit before the perf PR
 	// (serial harness, container/heap event queue, arena-walking
@@ -218,8 +228,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "simbench:", err)
 		os.Exit(1)
 	}
-	out.QuickSuite.Serial = suiteResult{Workers: 1, Seconds: serial}
-	out.QuickSuite.Parallel = suiteResult{Workers: *workers, Seconds: par}
+	cpus := runtime.NumCPU()
+	out.QuickSuite.Serial = suiteResult{Workers: 1, Seconds: serial, HostCPUs: cpus}
+	out.QuickSuite.Parallel = suiteResult{Workers: *workers, Seconds: par, HostCPUs: cpus}
 	out.QuickSuite.Speedup = serial / par
 
 	fmt.Fprintln(os.Stderr, "simbench: quick fleet fault-tolerance sweep...")
@@ -230,7 +241,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "simbench:", err)
 		os.Exit(1)
 	}
-	out.QuickSuite.FleetFault = suiteResult{Workers: 1, Seconds: time.Since(ffStart).Seconds()}
+	out.QuickSuite.FleetFault = suiteResult{Workers: 1, Seconds: time.Since(ffStart).Seconds(), HostCPUs: cpus}
+
+	simW := *workers
+	if simW < 2 {
+		simW = 2 // determinism check still runs on 1-CPU hosts
+	}
+	fmt.Fprintf(os.Stderr, "simbench: sharded fleet (parallel_sim), %d sim workers...\n", simW)
+	fp, err := bench.FleetParallelBench(simW)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(1)
+	}
+	if !fp.Identical {
+		fmt.Fprintln(os.Stderr, "simbench: parallel_sim: sharded fleet result DIVERGED from serial — the engine's bit-for-bit contract is broken")
+		os.Exit(1)
+	}
+	out.ParallelSim = fp
 
 	out.PrePR.SimKernelNsPerOp = 19_700_000
 	out.PrePR.SimKernelAllocsPerOp = 89_763
@@ -240,7 +267,9 @@ func main() {
 	out.Notes = "pre_pr_baseline measured at the commit before the perf PR on the same host; " +
 		"parallel speedup is bounded by host_cpus (a single-core host cannot exceed 1x " +
 		"regardless of worker count — the parallel path is then validated for determinism, " +
-		"not speed)"
+		"not speed); machine_run_gzip is a single-VM serial run, so the cross-shard send " +
+		"pooling added with the sharded engine does not move its allocs/op — the pooled " +
+		"path only exists in sharded fleet runs (parallel_sim)"
 
 	f, err := os.Create(*outPath)
 	if err != nil {
@@ -259,4 +288,6 @@ func main() {
 	}
 	fmt.Printf("simbench: wrote %s (quick suite %.2fs serial, %.2fs with %d workers on %d CPU(s))\n",
 		*outPath, serial, par, *workers, out.HostCPUs)
+	fmt.Printf("simbench: parallel_sim %.2fs serial, %.2fs sharded ×%d (%.2fx, identical=%v)\n",
+		fp.SerialSeconds, fp.ShardedSeconds, fp.Workers, fp.Speedup, fp.Identical)
 }

@@ -71,6 +71,7 @@ func (s *Suite) FleetFaultSweep() (string, error) {
 		for _, pol := range policies {
 			cfg := core.DefaultConfig()
 			cfg.Params.Width, cfg.Params.Height = grid[0], grid[1]
+			cfg.SimWorkers = s.SimWorkers // serial fallback under lending/faults, but always safe
 			if k > 0 {
 				plan := &fault.Plan{Seed: 7}
 				for i := 0; i < k; i++ {

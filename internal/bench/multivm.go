@@ -80,6 +80,7 @@ func (s *Suite) FleetSweep() (string, error) {
 			for _, lend := range []bool{false, true} {
 				cfg := core.DefaultConfig()
 				cfg.Params.Width, cfg.Params.Height = g[0], g[1]
+				cfg.SimWorkers = s.SimWorkers
 				res, err := core.RunFleet(imgs, cfg, core.FleetConfig{Lend: lend})
 				if err != nil {
 					return "", fmt.Errorf("fleet %dx%d n=%d lend=%v: %w", g[0], g[1], n, lend, err)

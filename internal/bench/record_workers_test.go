@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"testing"
+
+	"tilevm/internal/checkpoint"
+)
+
+// TestReplayWorkerCountIndependent pins the -sim-workers/record-replay
+// contract: a journal recorded under the default (serial, workers=1)
+// engine must replay to an identical verdict with any worker count
+// requested, because worker count is never part of recorded semantics —
+// the parallel engine is bit-identical and single-VM replays run the
+// serial loop regardless. A divergence here would mean the worker knob
+// leaked into simulation behavior.
+func TestReplayWorkerCountIndependent(t *testing.T) {
+	rc := checkpoint.RecordConfig{
+		Workload: "164.gzip",
+		Slaves:   6, Speculative: true, L15Banks: 2, MemBanks: 4,
+		Optimize: true,
+	}
+	_, rec, err := RunRecorded(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-trip through the codec so the on-disk format is what
+	// replays, exactly as the CLI path does.
+	rec2, err := checkpoint.DecodeRecord(rec.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		rep, err := ReplayWorkers(rec2, 0, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !rep.Match || rep.FirstDivergent >= 0 {
+			t.Fatalf("workers=%d: replay diverged:\n%s", workers, rep)
+		}
+	}
+}

@@ -147,6 +147,18 @@ type Config struct {
 	// a lightweight text alternative to Tracer.
 	DispatchLog      io.Writer
 	DispatchLogLimit int
+
+	// SimWorkers is the simulation event-loop worker count. 0 or 1 (the
+	// default) runs the serial scheduler. Above 1, a fleet run
+	// (RunFleet) shards the fabric by VM slot and runs slot sub-loops
+	// on that many host goroutines under conservative-lookahead
+	// synchronization, with bit-identical results at any worker count.
+	// Sharding applies only to fleet runs that neither lend tiles, nor
+	// inject faults, nor trace, nor log dispatches (those paths need
+	// cross-slot coupling the shard boundary does not carry); any other
+	// run — including every single-VM core.Run — silently uses the
+	// serial loop, so the flag is always safe to set.
+	SimWorkers int
 }
 
 // DefaultConfig is the paper's headline configuration: 6 speculative

@@ -338,6 +338,17 @@ func RunFleet(imgs []*guest.Image, cfg Config, fc FleetConfig) (*FleetResult, er
 	if len(fl.events) > 0 {
 		fl.m.Sim.Spawn("fleet-supervisor", fl.supervise)
 	}
+	// Parallel engine: shard the fabric by VM slot when the run is
+	// slot-isolated. Lending, fault injection, policy events, tracing,
+	// and dispatch logging all couple slots (or a shared sink) across
+	// the shard boundary, so any of them keeps the serial loop; the
+	// parallel engine is bit-identical, not merely equivalent, so the
+	// fallback is an implementation detail rather than a semantic one.
+	if cfg.SimWorkers > 1 && len(slots) > 1 && !fc.Lend &&
+		cfg.Fault.Empty() && cfg.Tracer == nil && cfg.DispatchLog == nil &&
+		len(fl.events) == 0 {
+		fl.shardSlots(cfg.SimWorkers)
+	}
 
 	simErr := fl.m.Run()
 
@@ -377,6 +388,14 @@ func (fl *fleetRun) newEngine(gi, si int) *engine {
 		e.ck = fl.cks[gi]
 	}
 	e.onExit = func(c *raw.TileCtx) {
+		// In a sharded run the fleet bookkeeping below — and the
+		// admission path the exec wrapper runs right after — mutates
+		// state shared by every slot. Fence blocks until this is
+		// provably the globally earliest pending work and holds the
+		// other shards until the exec kernel next parks, so the shared
+		// state is touched in exact serial cycle order. No-op when the
+		// serial loop is running.
+		c.P.Fence()
 		if e.cancelled {
 			// Quarantine or deadline: the supervisor already did this
 			// guest's terminal (or re-queue) bookkeeping.
@@ -458,6 +477,27 @@ func (fl *fleetRun) spawnSlots() {
 					h.cur.workerBody(roleBank)(c)
 				}
 			}))
+		}
+	}
+}
+
+// shardSlots partitions the fleet for the parallel engine: slot si's
+// tile processes and inbox ports all land on shard si % workers, so a
+// slot never straddles a shard boundary. In the slot-isolated
+// configurations that reach here (no lending, no faults, no policy
+// events) slots exchange no messages at all, so no sim.Connect links
+// are declared: each shard free-runs, and an unexpected cross-slot
+// send panics instead of silently racing. The shared admission state
+// is serialized by the Fence in onExit.
+func (fl *fleetRun) shardSlots(workers int) {
+	fl.m.Sim.SetWorkers(workers)
+	for si := range fl.slots {
+		shard := si % workers
+		for _, t := range fl.slots[si].tiles() {
+			fl.m.SetTileShard(t, shard)
+		}
+		for _, p := range fl.hosts[si].procs {
+			p.SetShard(shard)
 		}
 	}
 }

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// runFleetWorkers runs the same fleet at a given worker count and
+// returns the full result.
+func runFleetWorkers(t *testing.T, w, h, workers int, fc FleetConfig, names ...string) *FleetResult {
+	t.Helper()
+	cfg := fleetCfg(w, h)
+	cfg.SimWorkers = workers
+	r, err := RunFleet(fleetImgs(t, names...), cfg, fc)
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	return r
+}
+
+// TestFleetParallelWorkersInvariance is the tentpole gate: the sharded
+// engine must produce a byte-identical FleetResult — per-guest cycles,
+// exit codes, state hashes, per-tile busy counters, utilization, fleet
+// counters — at every worker count. reflect.DeepEqual over the whole
+// result covers all of it at once.
+func TestFleetParallelWorkersInvariance(t *testing.T) {
+	names := []string{"164.gzip", "181.mcf", "164.gzip", "181.mcf"}
+	base := runFleetWorkers(t, 8, 8, 1, FleetConfig{}, names...)
+	for _, workers := range []int{2, 4, 8} {
+		got := runFleetWorkers(t, 8, 8, workers, FleetConfig{}, names...)
+		if !reflect.DeepEqual(base, got) {
+			t.Errorf("workers=%d: fleet result differs from serial run\nserial:   %+v\nparallel: %+v",
+				workers, base, got)
+		}
+	}
+}
+
+// TestFleetParallelOversubscribed exercises the admission queue under
+// sharding: more guests than slots, so guest exits trigger fenced
+// re-admissions whose global ordering decides which guest lands on
+// which slot. Any fence-ordering bug shows up as a different
+// slot/timing assignment.
+func TestFleetParallelOversubscribed(t *testing.T) {
+	names := []string{"164.gzip", "181.mcf", "164.gzip", "181.mcf", "164.gzip"}
+	fc := FleetConfig{MaxSlots: 2}
+	base := runFleetWorkers(t, 8, 8, 1, fc, names...)
+	if base.Fleet.GuestsFinished != uint64(len(names)) {
+		t.Fatalf("serial run finished %d of %d guests", base.Fleet.GuestsFinished, len(names))
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got := runFleetWorkers(t, 8, 8, workers, fc, names...)
+		if !reflect.DeepEqual(base, got) {
+			t.Errorf("workers=%d: oversubscribed fleet result differs from serial run", workers)
+		}
+	}
+}
+
+// TestFleetParallelMatchesSoloHashes ties the parallel engine back to
+// the per-guest architectural contract: each guest's final state hash
+// under a sharded fleet equals its solo single-VM hash.
+func TestFleetParallelMatchesSoloHashes(t *testing.T) {
+	imgs := fleetImgs(t, "164.gzip", "181.mcf", "164.gzip")
+	solo := soloFingerprints(t, imgs)
+	cfg := fleetCfg(8, 8)
+	cfg.SimWorkers = 4
+	r, err := RunFleet(imgs, cfg, FleetConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFleetInvariance(t, "workers=4", r, imgs, solo)
+}
+
+// TestFleetParallelFallsBackWhenCoupled pins the gating contract:
+// configurations that couple slots (here, lending) must run the serial
+// loop even with SimWorkers set, and still produce the serial result.
+func TestFleetParallelFallsBackWhenCoupled(t *testing.T) {
+	names := []string{"164.gzip", "181.mcf"}
+	fc := FleetConfig{Lend: true}
+	base := runFleetWorkers(t, 8, 8, 1, fc, names...)
+	got := runFleetWorkers(t, 8, 8, 8, fc, names...)
+	if !reflect.DeepEqual(base, got) {
+		t.Errorf("lending fleet with SimWorkers=8 differs from serial run")
+	}
+}

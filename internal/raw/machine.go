@@ -64,6 +64,11 @@ func NewMachine(p Params) *Machine {
 // Inbox returns tile id's message port.
 func (m *Machine) Inbox(id int) *sim.Port { return m.inbox[id] }
 
+// SetTileShard assigns tile id's inbox port to a simulation shard.
+// Callers partitioning the machine for a sharded run (see sim.Connect)
+// must also place the tile's kernel process on the same shard.
+func (m *Machine) SetTileShard(id, shard int) { m.inbox[id].SetShard(shard) }
+
 // SetTracer installs a virtual-time tracer on the machine and its
 // simulation kernel. Tile busy cycles accrued through Tick/Advance
 // feed the tracer's interval sampler (per-tile occupancy per window).
@@ -114,7 +119,11 @@ func (c *TileCtx) Send(to int, payload any, words int) {
 		}
 		arrival += v.Delay
 	}
-	c.M.inbox[to].Send(c.Tile, payload, arrival)
+	// Routed through the sending process so that in a sharded
+	// simulation a send to a tile of another shard is deferred across
+	// the shard boundary (sim.Proc.SendPort); on the same shard — and
+	// always in a serial run — this is exactly Port.Send.
+	c.P.SendPort(c.M.inbox[to], c.Tile, payload, arrival)
 }
 
 // faultCheck applies tile-level faults at a scheduling point: pending

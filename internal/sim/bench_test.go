@@ -59,7 +59,7 @@ func TestStaleEventsCompacted(t *testing.T) {
 		for i := 0; i < rounds; i++ {
 			p.Advance(1)
 			pt.Send(0, i, p.Now())
-			if n := len(s.events.ev); n > maxLen {
+			if n := len(s.shards[0].events.ev); n > maxLen {
 				maxLen = n
 			}
 		}

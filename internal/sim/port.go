@@ -68,17 +68,36 @@ func (h *msgHeap) pop() Msg {
 // network link or hardware FIFO. Messages are delivered in arrival-time
 // order (FIFO among equal arrivals). At most one process may block in
 // Recv on a port at a time.
+//
+// A port belongs to a shard (shard 0 unless SetShard moved it). In a
+// sharded run, only processes of the same shard may call Recv/TryRecv/
+// RecvDeadline or Send directly; processes of other shards must route
+// sends through Proc.SendPort, which defers them across the shard
+// boundary. Port.Len on a cross-shard port may transiently undercount
+// messages still staged at the boundary.
 type Port struct {
 	sim    *Simulator
+	sh     *shard
 	name   string
 	q      msgHeap
 	waiter *Proc
 	seq    uint64
 }
 
-// NewPort creates a port attached to the simulator.
+// NewPort creates a port attached to the simulator, on shard 0.
 func (s *Simulator) NewPort(name string) *Port {
-	return &Port{sim: s, name: name}
+	pt := &Port{sim: s, sh: s.shards[0], name: name}
+	s.ports = append(s.ports, pt)
+	return pt
+}
+
+// SetShard assigns the port to shard i. Must be called before Run; the
+// receiving process must live on the same shard.
+func (pt *Port) SetShard(i int) {
+	if pt.sim.started {
+		panic("sim: Port.SetShard after Run")
+	}
+	pt.sh = pt.sim.shard(i)
 }
 
 // Name returns the port name.
@@ -89,10 +108,12 @@ func (pt *Port) Name() string { return pt.name }
 func (pt *Port) Len() int { return len(pt.q) }
 
 // Send enqueues a message arriving at the given time, waking a blocked
-// receiver if necessary. It may be called from any process (the sender's
-// own local time is not consulted; compute arrival with p.Now() plus the
-// modeled transit latency before calling). Send never blocks: link
-// back-pressure is modeled by the receiver's service occupancy.
+// receiver if necessary. It may be called from any process of the
+// port's own shard (the sender's local time is not consulted; compute
+// arrival with p.Now() plus the modeled transit latency before
+// calling). Send never blocks: link back-pressure is modeled by the
+// receiver's service occupancy. In a sharded run, senders that may be
+// on a different shard must use Proc.SendPort instead.
 func (pt *Port) Send(from int, payload any, arrival Time) {
 	pt.seq++
 	pt.q.push(Msg{Payload: payload, Arrival: arrival, From: from, seq: pt.seq})
@@ -101,16 +122,39 @@ func (pt *Port) Send(from int, payload any, arrival Time) {
 		return
 	}
 	at := arrival
-	if at < pt.sim.now {
-		at = pt.sim.now
+	if at < pt.sh.now {
+		at = pt.sh.now
 	}
 	switch {
 	case w.state == parkBlocked:
-		pt.sim.schedule(w, at)
+		pt.sh.schedule(w, at)
 	case w.state == parkRunnable && at < w.wakeAt:
 		// The waiter is sleeping until a later message (or a Recv
 		// deadline); this message lands earlier, so wake it sooner.
-		pt.sim.schedule(w, at)
+		pt.sh.schedule(w, at)
+	}
+}
+
+// SendPort sends on a port that may belong to another shard. On the
+// port's own shard (and always in a serial run) it is exactly
+// Port.Send; across shards the send is deferred and applied by the
+// receiving shard in deterministic sender order (see shard.go). The
+// pair (sending shard, receiving shard) must have been declared with
+// Connect, and arrival must respect the declared lookahead.
+func (p *Proc) SendPort(pt *Port, from int, payload any, arrival Time) {
+	ps := p.sim.par
+	if ps == nil || p.sh == pt.sh {
+		pt.Send(from, payload, arrival)
+		return
+	}
+	ps.sendRemote(p, pt, from, payload, arrival)
+}
+
+// checkShard guards the receive path in sharded runs: blocking on a
+// port of another shard would race that shard's event loop.
+func (p *Proc) checkShard(pt *Port) {
+	if p.sim.par != nil && p.sh != pt.sh {
+		panic("sim: " + p.name + " Recv on port " + pt.name + " of another shard")
 	}
 }
 
@@ -118,9 +162,10 @@ func (pt *Port) Send(from int, payload any, arrival Time) {
 // arrival time has been reached), then removes and returns it. Any
 // accrued local time is synchronized first.
 func (p *Proc) Recv(pt *Port) Msg {
+	p.checkShard(pt)
 	p.Sync()
 	for {
-		if len(pt.q) > 0 && pt.q[0].Arrival <= p.sim.now {
+		if len(pt.q) > 0 && pt.q[0].Arrival <= p.sh.now {
 			return pt.q.pop()
 		}
 		if pt.waiter != nil && pt.waiter != p {
@@ -130,7 +175,7 @@ func (p *Proc) Recv(pt *Port) Msg {
 		p.blockedOn = pt
 		if len(pt.q) > 0 {
 			// Earliest message is in the future: sleep until it lands.
-			p.sim.schedule(p, pt.q[0].Arrival)
+			p.sh.schedule(p, pt.q[0].Arrival)
 			p.park()
 		} else {
 			p.block()
@@ -142,8 +187,9 @@ func (p *Proc) Recv(pt *Port) Msg {
 
 // TryRecv returns a message if one is available now, without blocking.
 func (p *Proc) TryRecv(pt *Port) (Msg, bool) {
+	p.checkShard(pt)
 	p.Sync()
-	if len(pt.q) > 0 && pt.q[0].Arrival <= p.sim.now {
+	if len(pt.q) > 0 && pt.q[0].Arrival <= p.sh.now {
 		return pt.q.pop(), true
 	}
 	return Msg{}, false
@@ -153,12 +199,13 @@ func (p *Proc) TryRecv(pt *Port) (Msg, bool) {
 // reaches the deadline, whichever comes first. The boolean is false on
 // timeout. A deadline in the past polls.
 func (p *Proc) RecvDeadline(pt *Port, deadline Time) (Msg, bool) {
+	p.checkShard(pt)
 	p.Sync()
 	for {
-		if len(pt.q) > 0 && pt.q[0].Arrival <= p.sim.now {
+		if len(pt.q) > 0 && pt.q[0].Arrival <= p.sh.now {
 			return pt.q.pop(), true
 		}
-		if p.sim.now >= deadline {
+		if p.sh.now >= deadline {
 			return Msg{}, false
 		}
 		if pt.waiter != nil && pt.waiter != p {
@@ -170,7 +217,7 @@ func (p *Proc) RecvDeadline(pt *Port, deadline Time) (Msg, bool) {
 		if len(pt.q) > 0 && pt.q[0].Arrival < at {
 			at = pt.q[0].Arrival
 		}
-		p.sim.schedule(p, at)
+		p.sh.schedule(p, at)
 		p.park()
 		p.blockedOn = nil
 		pt.waiter = nil

@@ -1,0 +1,353 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// crossTraffic builds a two-shard workload: two producers on shard 1
+// send timestamped messages over declared-lookahead links to a
+// consumer on shard 0, which logs every delivery. The consumer also
+// exchanges a reply stream back to shard 1, so both link directions
+// and the horizon wait are exercised. With workers=1 the exact same
+// construction runs on the serial loop, giving the reference logs.
+// Each process keeps its own log: per-process observable behavior is
+// the engine's invariant (a single globally ordered side-effect log
+// across shards would itself need a Fence).
+func crossTraffic(workers int) (consumerLog, echoLog []string, err error) {
+	const rounds = 200
+	const lat = Time(3)
+	s := New()
+	s.SetWorkers(workers)
+	s.Connect(1, 0, lat)
+	s.Connect(0, 1, lat)
+	in := s.NewPort("consumer.in")
+	back := s.NewPort("producer.in")
+	back.SetShard(1)
+	for pi := 0; pi < 2; pi++ {
+		pi := pi
+		p := s.Spawn(fmt.Sprintf("producer%d", pi), func(p *Proc) {
+			for i := 0; i < rounds; i++ {
+				p.Advance(Time(2 + pi)) // distinct rates interleave the streams
+				p.SendPort(in, pi, i, p.Now()+lat)
+			}
+		})
+		p.SetShard(1)
+	}
+	echo := s.Spawn("echo", func(p *Proc) {
+		for i := 0; i < rounds; i++ {
+			m := p.Recv(back)
+			echoLog = append(echoLog, fmt.Sprintf("echo %v@%d", m.Payload, p.Now()))
+		}
+	})
+	echo.SetShard(1)
+	s.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < 2*rounds; i++ {
+			m := p.Recv(in)
+			consumerLog = append(consumerLog, fmt.Sprintf("recv from=%d payload=%v at=%d now=%d", m.From, m.Payload, m.Arrival, p.Now()))
+			if i%2 == 0 {
+				p.SendPort(back, 0, i, p.Now()+lat)
+			}
+		}
+	})
+	err = s.Run()
+	return consumerLog, echoLog, err
+}
+
+// TestCrossShardDeterminism pins the cross-shard delivery order: the
+// consumer's observed message sequence under the parallel engine must
+// equal the serial loop's, byte for byte, at several worker counts.
+func TestCrossShardDeterminism(t *testing.T) {
+	wantC, wantE, err := crossTraffic(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wantC) == 0 || len(wantE) == 0 {
+		t.Fatal("serial reference produced no log")
+	}
+	diff := func(workers int, name string, want, got []string) {
+		t.Helper()
+		if reflect.DeepEqual(want, got) {
+			return
+		}
+		for i := range want {
+			if i >= len(got) || got[i] != want[i] {
+				t.Fatalf("workers=%d: %s log diverges at entry %d:\nserial:   %q\nparallel: %q",
+					workers, name, i, want[i], got[i])
+			}
+		}
+		t.Fatalf("workers=%d: parallel %s log is a prefix of serial (%d vs %d entries)",
+			workers, name, len(got), len(want))
+	}
+	for _, workers := range []int{2, 4} {
+		gotC, gotE, err := crossTraffic(workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		diff(workers, "consumer", wantC, gotC)
+		diff(workers, "echo", wantE, gotE)
+	}
+}
+
+// TestCrossShardLookaheadViolationPanics pins the engine's tripwire: a
+// cross-shard send that undercuts the declared lookahead must panic
+// rather than silently deliver out of the conservative window.
+func TestCrossShardLookaheadViolationPanics(t *testing.T) {
+	s := New()
+	s.SetWorkers(2)
+	s.Connect(1, 0, 10)
+	in := s.NewPort("in")
+	caught := make(chan any, 1)
+	p := s.Spawn("violator", func(p *Proc) {
+		defer func() {
+			if r := recover(); r != nil {
+				caught <- r
+				panic(errKilled{}) // unwind as a kill so Run can finish
+			}
+		}()
+		p.Advance(5)
+		p.SendPort(in, 0, "too-soon", p.Now()+1) // needs +10
+	})
+	p.SetShard(1)
+	s.Spawn("consumer", func(p *Proc) {
+		p.Recv(in)
+	})
+	_ = s.Run()
+	select {
+	case r := <-caught:
+		if s, ok := r.(string); !ok || len(s) == 0 {
+			t.Fatalf("expected lookahead panic message, got %#v", r)
+		}
+	default:
+		t.Fatal("lookahead violation did not panic")
+	}
+}
+
+// TestFenceSerializesSharedState drives the fleet's fence pattern
+// directly: procs on different shards increment a shared counter
+// inside Fence-guarded sections at staggered times. The observed
+// sequence must be the global virtual-time order, every run.
+func TestFenceSerializesSharedState(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		var order []int
+		s := New()
+		s.SetWorkers(4)
+		for i := 0; i < 4; i++ {
+			i := i
+			p := s.Spawn(fmt.Sprintf("worker%d", i), func(p *Proc) {
+				// Staggered so the serial order is 3,2,1,0 — the reverse
+				// of pid order, catching fences granted by pid accident.
+				p.Advance(Time(100 - 10*i))
+				p.Fence()
+				order = append(order, i)
+				p.Advance(1) // park: releases the fence
+			})
+			p.SetShard(i)
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if want := []int{3, 2, 1, 0}; !reflect.DeepEqual(order, want) {
+			t.Fatalf("trial %d: fence order %v, want %v", trial, order, want)
+		}
+	}
+}
+
+// TestShardedStopTruncatesCleanly: a Stop from a fenced section must
+// end the run without deadlock and without error.
+func TestShardedStopTruncatesCleanly(t *testing.T) {
+	s := New()
+	s.SetWorkers(2)
+	s.Spawn("stopper", func(p *Proc) {
+		p.Advance(50)
+		p.Fence()
+		p.Stop()
+	})
+	idler := s.Spawn("idler", func(p *Proc) {
+		p.Advance(10) // finishes well before the stop; shard goes quiet
+	})
+	idler.SetShard(1)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Stopped() {
+		t.Fatal("Stop did not latch")
+	}
+}
+
+// TestShardedTimeLimit: the limit error must fire even though the
+// offending event sits on a shard that another shard's horizon cannot
+// see, and every event at or below the limit must still dispatch.
+func TestShardedTimeLimit(t *testing.T) {
+	s := New()
+	s.SetWorkers(2)
+	s.SetLimit(100)
+	var aTicks, bTicks int
+	s.Spawn("a", func(p *Proc) {
+		for {
+			p.Advance(10)
+			aTicks++
+		}
+	})
+	b := s.Spawn("b", func(p *Proc) {
+		for {
+			p.Advance(30)
+			bTicks++
+		}
+	})
+	b.SetShard(1)
+	err := s.Run()
+	if _, ok := err.(*TimeLimitError); !ok {
+		t.Fatalf("want TimeLimitError, got %v", err)
+	}
+	// Serial dispatches everything at or below cycle 100: 10 a-ticks,
+	// 3 b-ticks (30, 60, 90).
+	if aTicks != 10 || bTicks != 3 {
+		t.Fatalf("dispatched a=%d b=%d ticks, want 10 and 3", aTicks, bTicks)
+	}
+}
+
+// TestShardedDeadlockReport: global quiescence with a blocked process
+// must produce the same pid-ordered DeadlockError as the serial loop.
+func TestShardedDeadlockReport(t *testing.T) {
+	build := func(workers int) error {
+		s := New()
+		s.SetWorkers(workers)
+		never := s.NewPort("never")
+		s.Spawn("waiter", func(p *Proc) {
+			p.Recv(never)
+		})
+		other := s.Spawn("worker", func(p *Proc) {
+			p.Advance(5)
+		})
+		if workers > 1 {
+			other.SetShard(1)
+		}
+		return s.Run()
+	}
+	serial := build(1)
+	par := build(2)
+	if serial == nil || par == nil {
+		t.Fatalf("expected deadlock errors, got serial=%v parallel=%v", serial, par)
+	}
+	if serial.Error() != par.Error() {
+		t.Fatalf("deadlock reports differ:\nserial:   %s\nparallel: %s", serial, par)
+	}
+}
+
+// TestCompactAfterSetStart is the rollback regression: SetStart moves
+// the clock to an absolute restart cycle, so every event the restarted
+// machine schedules sits far from zero. The supersede-heavy receive
+// pattern must still trigger compaction (heap stays bounded), dispatch
+// in exact (time, pid) order, and keep the per-shard seq counter
+// strictly monotonic across compactions.
+func TestCompactAfterSetStart(t *testing.T) {
+	const start = Time(1) << 40
+	const rounds = 500
+	s := New()
+	s.SetStart(start)
+	if got := s.Now(); got != start {
+		t.Fatalf("Now() = %d after SetStart(%d)", got, start)
+	}
+	pt := s.NewPort("p")
+	maxLen := 0
+	var lastSeq uint64
+	var dispatches []Time
+	s.Spawn("producer", func(p *Proc) {
+		for i := 0; i < rounds; i++ {
+			p.Advance(1)
+			pt.Send(0, i, p.Now())
+			sh := s.shards[0]
+			if n := len(sh.events.ev); n > maxLen {
+				maxLen = n
+			}
+			if sh.seq <= lastSeq {
+				t.Errorf("round %d: shard seq %d not monotonic (last %d)", i, sh.seq, lastSeq)
+			}
+			lastSeq = sh.seq
+			dispatches = append(dispatches, p.Now())
+		}
+	})
+	s.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < rounds; i++ {
+			// A far-future deadline parks a wakeup that every message
+			// supersedes — the compaction-triggering pattern.
+			if _, ok := p.RecvDeadline(pt, start+(1<<20)); !ok {
+				t.Error("consumer hit deadline")
+				return
+			}
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if maxLen > 4*compactMinLen {
+		t.Fatalf("event heap grew to %d entries after SetStart; compaction regressed", maxLen)
+	}
+	for i, at := range dispatches {
+		if at < start {
+			t.Fatalf("dispatch %d at cycle %d, before the SetStart origin %d", i, at, start)
+		}
+		if i > 0 && at < dispatches[i-1] {
+			t.Fatalf("dispatch %d at cycle %d ran before cycle %d: order broken", i, at, dispatches[i-1])
+		}
+	}
+}
+
+// TestCompactPreservesPopOrder unit-tests the heap directly: a
+// compaction over a mix of live and superseded entries (on an absolute
+// SetStart-style timeline) must leave the pop order identical to the
+// uncompacted heap's.
+func TestCompactPreservesPopOrder(t *testing.T) {
+	const start = Time(1) << 32
+	mk := func() (*Simulator, []*Proc) {
+		s := New()
+		var procs []*Proc
+		for i := 0; i < 40; i++ {
+			procs = append(procs, s.Spawn(fmt.Sprintf("p%d", i), func(*Proc) {}))
+		}
+		s.SetStart(start)
+		return s, procs
+	}
+	pops := func(s *Simulator, compactFirst bool) []int {
+		sh := s.shards[0]
+		if compactFirst {
+			sh.events.compact()
+		}
+		var order []int
+		for {
+			ev, ok := sh.events.peekLive()
+			if !ok {
+				break
+			}
+			sh.events.pop()
+			ev.proc.state = parkBlocked // retire so peekLive moves on
+			order = append(order, ev.pid)
+		}
+		return order
+	}
+	build := func(s *Simulator, procs []*Proc) {
+		sh := s.shards[0]
+		// Half the procs get superseded schedules (dead entries), every
+		// proc ends with one live entry at a scrambled absolute time.
+		for i, p := range procs {
+			sh.schedule(p, start+Time((i*7)%41))
+			if i%2 == 0 {
+				sh.schedule(p, start+Time((i*13)%37)) // supersedes the first
+			}
+		}
+	}
+	sa, pa := mk()
+	build(sa, pa)
+	want := pops(sa, false)
+	sb, pb := mk()
+	build(sb, pb)
+	got := pops(sb, true)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("compaction changed pop order:\nplain:     %v\ncompacted: %v", want, got)
+	}
+	if len(want) != len(pa) {
+		t.Fatalf("popped %d live events for %d procs", len(want), len(pa))
+	}
+}

@@ -11,11 +11,21 @@
 // Virtual time is measured in cycles (uint64). The kernel never invents
 // time: it only moves to timestamps that processes or messages carry, so
 // two runs of the same program are bit-for-bit identical.
+//
+// The kernel can optionally be sharded (see shard.go): processes and
+// ports are partitioned into shards, each shard runs its own event
+// sub-loop on its own goroutine, and the shards synchronize with
+// conservative lookahead windows derived from declared cross-shard
+// links. The sharded engine is byte-identical to the serial loop for
+// any workload whose cross-shard communication respects the declared
+// lookahead; with SetWorkers(1) (the default) the serial loop below
+// runs untouched.
 package sim
 
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"tilevm/internal/trace"
 )
@@ -104,6 +114,19 @@ func (h *eventHeap) pop() event {
 	return e
 }
 
+// peekLive discards dead entries from the top of the heap and returns
+// the minimum live event without removing it.
+func (h *eventHeap) peekLive() (event, bool) {
+	for len(h.ev) > 0 {
+		if h.ev[0].live() {
+			return h.ev[0], true
+		}
+		h.pop()
+		h.dead--
+	}
+	return event{}, false
+}
+
 // live reports whether e is still the scheduled wakeup of its process
 // (not superseded by a later schedule, and the process still runnable).
 func (e *event) live() bool {
@@ -113,7 +136,10 @@ func (e *event) live() bool {
 // compact removes dead entries in place and re-heapifies. Called when
 // superseded wakeups exceed half the heap, so heap operations stay
 // O(log live) instead of O(log total) and stale entries do not
-// accumulate without bound in supersede-heavy phases.
+// accumulate without bound in supersede-heavy phases. Pop order is
+// unaffected: at most one live event exists per process, so the
+// (at, pid, seq) comparator is a total order on live events and any
+// valid heap yields the same pop sequence.
 func (h *eventHeap) compact() {
 	kept := h.ev[:0]
 	for i := range h.ev {
@@ -132,17 +158,67 @@ func (h *eventHeap) compact() {
 	}
 }
 
+// shard is one event sub-loop: a clock, an event heap, and the
+// processes and ports assigned to it. A serial simulation is exactly
+// one shard (index 0) driven by the serial loop in Run; a sharded
+// simulation runs each shard's loop on its own goroutine (shard.go).
+type shard struct {
+	sim    *Simulator
+	idx    int
+	now    Time
+	events eventHeap
+	seq    uint64
+	parked chan struct{} // signalled by a proc of this shard when it parks or exits
+
+	// Parallel-only fields (guarded by parState.mu; see shard.go).
+	boundAt      Time // lower bound on this shard's next dispatch key
+	boundPid     int  // pid refinement of boundAt (-1 = conservative)
+	quiet        bool // no events and no staged messages
+	midDispatch  bool // a process of this shard is currently running
+	fenceWaiting bool // the running process is parked in a Fence wait
+	limitStalled bool // next event exceeds the time limit
+	pending      []xsend // cross-shard sends queued by other shards
+	buf          []xsend // staged sends awaiting horizon, shard-owned
+}
+
+// schedule enqueues a wakeup for p at time at, superseding any
+// previously scheduled wakeup.
+func (sh *shard) schedule(p *Proc, at Time) {
+	if p.state == parkRunnable {
+		// The process already has a wakeup in the heap; bumping wakeSeq
+		// makes that entry dead until popped or compacted.
+		sh.events.dead++
+	}
+	sh.seq++
+	p.wakeSeq++
+	p.wakeAt = at
+	sh.events.push(event{at: at, pid: p.id, seq: sh.seq, proc: p, wake: p.wakeSeq})
+	p.state = parkRunnable
+	if n := len(sh.events.ev); n >= compactMinLen && sh.events.dead > n/2 {
+		sh.events.compact()
+	}
+	// In a sharded run, a schedule issued by the currently running
+	// process at a key below the shard's published bound (a same-time
+	// wake of a smaller pid) must be published before a fence could be
+	// granted against the stale bound.
+	if par := sh.sim.par; par != nil && sh.midDispatch {
+		par.noteSchedule(sh, at, p.id)
+	}
+}
+
 // Simulator is a deterministic discrete-event scheduler.
 type Simulator struct {
-	now      Time
-	events   eventHeap
-	seq      uint64
+	shards   []*shard
+	start    Time
+	workers  int
+	links    []link
 	procs    []*Proc
-	parked   chan struct{} // signalled by a proc when it parks or exits
-	stopped  bool
+	ports    []*Port
+	stopFlag atomic.Bool
 	limit    Time // 0 means no limit
 	started  bool
-	abortErr error // fatal error raised from inside a process
+	abortErr error     // fatal error raised from inside a process
+	par      *parState // non-nil while a sharded Run is active
 
 	// Trace, if non-nil, is the run's virtual-time event sink (see
 	// internal/trace). The kernel itself stays off the timeline — it
@@ -150,7 +226,8 @@ type Simulator struct {
 	// what a process *is*: a tile) can emit spans without a side
 	// channel. Exactly one process runs at a time, so emission needs
 	// no locking. All trace timestamps are virtual; the tracer adds
-	// zero virtual cycles and, when nil, zero cost.
+	// zero virtual cycles and, when nil, zero cost. Sharded runs must
+	// not install a tracer (the sink is a shared append buffer).
 	Trace *trace.Tracer
 }
 
@@ -214,13 +291,32 @@ func (e *TimeLimitError) Error() string {
 
 // New returns an empty simulator.
 func New() *Simulator {
-	return &Simulator{parked: make(chan struct{})}
+	s := &Simulator{workers: 1}
+	s.shards = []*shard{{sim: s, idx: 0, parked: make(chan struct{})}}
+	return s
+}
+
+// shard returns (creating as needed) the shard with the given index.
+func (s *Simulator) shard(i int) *shard {
+	if i < 0 {
+		panic("sim: negative shard index")
+	}
+	for len(s.shards) <= i {
+		s.shards = append(s.shards, &shard{
+			sim:    s,
+			idx:    len(s.shards),
+			now:    s.start,
+			parked: make(chan struct{}),
+		})
+	}
+	return s.shards[i]
 }
 
 // Now returns the current virtual time. Inside a process body, prefer
 // Proc.Now, which includes the process's accumulated (not yet synced)
-// local cycles.
-func (s *Simulator) Now() Time { return s.now }
+// local cycles. In a sharded run each shard keeps its own clock and
+// Now reports shard 0's.
+func (s *Simulator) Now() Time { return s.shards[0].now }
 
 // SetLimit aborts the simulation when virtual time reaches t.
 // A limit of 0 (the default) means no limit.
@@ -235,11 +331,14 @@ func (s *Simulator) SetStart(t Time) {
 	if s.started {
 		panic("sim: SetStart after Run")
 	}
-	s.now = t
+	s.start = t
+	for _, sh := range s.shards {
+		sh.now = t
+	}
 }
 
 // Stopped reports whether Stop has been called (or the time limit hit).
-func (s *Simulator) Stopped() bool { return s.stopped }
+func (s *Simulator) Stopped() bool { return s.stopFlag.Load() }
 
 // errKilled unwinds a process goroutine when the simulation ends
 // before the process body returns.
@@ -258,6 +357,7 @@ const (
 // the process's own body function.
 type Proc struct {
 	sim       *Simulator
+	sh        *shard
 	id        int
 	name      string
 	resume    chan struct{}
@@ -267,19 +367,21 @@ type Proc struct {
 	body      func(*Proc)
 	wakeSeq   uint64
 	wakeAt    Time
-	blockedOn *Port // port this process is blocked in Recv on, if any
+	xseq      uint64 // cross-shard send counter (shard.go)
+	blockedOn *Port  // port this process is blocked in Recv on, if any
 	daemon    bool
 }
 
 // Spawn registers a new process. The body runs when Run is called.
 // Processes are dispatched in id order on ties, and ids are assigned in
-// spawn order.
+// spawn order. New processes start on shard 0; see SetShard.
 func (s *Simulator) Spawn(name string, body func(*Proc)) *Proc {
 	if s.started {
 		panic("sim: Spawn after Run")
 	}
 	p := &Proc{
 		sim:    s,
+		sh:     s.shards[0],
 		id:     len(s.procs),
 		name:   name,
 		resume: make(chan struct{}),
@@ -287,24 +389,6 @@ func (s *Simulator) Spawn(name string, body func(*Proc)) *Proc {
 	}
 	s.procs = append(s.procs, p)
 	return p
-}
-
-// schedule enqueues a wakeup for p at time at, superseding any
-// previously scheduled wakeup.
-func (s *Simulator) schedule(p *Proc, at Time) {
-	if p.state == parkRunnable {
-		// The process already has a wakeup in the heap; bumping wakeSeq
-		// makes that entry dead until popped or compacted.
-		s.events.dead++
-	}
-	s.seq++
-	p.wakeSeq++
-	p.wakeAt = at
-	s.events.push(event{at: at, pid: p.id, seq: s.seq, proc: p, wake: p.wakeSeq})
-	p.state = parkRunnable
-	if n := len(s.events.ev); n >= compactMinLen && s.events.dead > n/2 {
-		s.events.compact()
-	}
 }
 
 // Run executes the simulation until Stop is called, the time limit is
@@ -315,93 +399,119 @@ func (s *Simulator) Run() error {
 		panic("sim: Run called twice")
 	}
 	s.started = true
+	if s.sharded() {
+		return s.runSharded()
+	}
+	// Serial: everything rides shard 0, whatever shard assignments say.
+	sh := s.shards[0]
+	for _, p := range s.procs {
+		p.sh = sh
+	}
+	for _, pt := range s.ports {
+		pt.sh = sh
+	}
 	for _, p := range s.procs {
 		p := p
-		go func() {
-			defer func() {
-				if r := recover(); r != nil {
-					if _, ok := r.(errKilled); ok {
-						p.state = parkDone
-						s.parked <- struct{}{}
-						return
-					}
-					panic(r)
-				}
-			}()
-			// Wait for first dispatch.
-			<-p.resume
-			if p.killed {
-				panic(errKilled{})
-			}
-			p.body(p)
-			p.state = parkDone
-			s.parked <- struct{}{}
-		}()
-		s.schedule(p, s.now)
+		go p.run()
+		sh.schedule(p, sh.now)
 	}
 
 	var err error
-	for len(s.events.ev) > 0 && !s.stopped {
-		ev := s.events.pop()
+	for len(sh.events.ev) > 0 && !s.stopFlag.Load() {
+		ev := sh.events.pop()
 		if !ev.live() {
-			s.events.dead--
+			sh.events.dead--
 			continue // superseded or stale event
 		}
 		if s.limit != 0 && ev.at > s.limit {
-			s.stopped = true
+			s.stopFlag.Store(true)
 			err = &TimeLimitError{Limit: s.limit}
 			break
 		}
-		s.now = ev.at
+		sh.now = ev.at
 		ev.proc.state = parkBlocked // will be updated when it parks
 		ev.proc.resume <- struct{}{}
-		<-s.parked
+		<-sh.parked
 	}
 	if s.abortErr != nil && err == nil {
 		err = s.abortErr
 	}
-	if !s.stopped && len(s.events.ev) == 0 && err == nil {
-		// Quiescence: fine if every proc is done (or a fail-stopped
-		// daemon), deadlock otherwise — reported with a per-process
-		// blocked-port diagnostic instead of hanging or panicking.
-		var blocked []BlockedProc
-		real := false
-		for _, p := range s.procs {
-			if p.state != parkBlocked {
-				continue
-			}
-			port := ""
-			if p.blockedOn != nil {
-				port = p.blockedOn.name
-			}
-			blocked = append(blocked, BlockedProc{Proc: p.name, Port: port, Daemon: p.daemon})
-			if !p.daemon {
-				real = true
-			}
-		}
-		if real {
-			err = &DeadlockError{Now: s.now, Blocked: blocked}
-		}
+	if !s.stopFlag.Load() && len(sh.events.ev) == 0 && err == nil {
+		err = s.deadlockOrNil(sh.now)
 	}
 	s.kill()
 	return err
 }
 
+// run is a process goroutine: it waits for its first dispatch, executes
+// the body, and signals its shard when done (or when killed).
+func (p *Proc) run() {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(errKilled); ok {
+				p.state = parkDone
+				p.sh.parked <- struct{}{}
+				return
+			}
+			panic(r)
+		}
+	}()
+	// Wait for first dispatch.
+	<-p.resume
+	if p.killed {
+		panic(errKilled{})
+	}
+	p.body(p)
+	p.state = parkDone
+	p.sh.parked <- struct{}{}
+}
+
+// deadlockOrNil diagnoses global quiescence: fine if every proc is done
+// (or a fail-stopped daemon), a DeadlockError otherwise — reported with
+// a per-process blocked-port diagnostic, in pid order, instead of
+// hanging or panicking.
+func (s *Simulator) deadlockOrNil(now Time) error {
+	var blocked []BlockedProc
+	real := false
+	for _, p := range s.procs {
+		if p.state != parkBlocked {
+			continue
+		}
+		port := ""
+		if p.blockedOn != nil {
+			port = p.blockedOn.name
+		}
+		blocked = append(blocked, BlockedProc{Proc: p.name, Port: port, Daemon: p.daemon})
+		if !p.daemon {
+			real = true
+		}
+	}
+	if real {
+		return &DeadlockError{Now: now, Blocked: blocked}
+	}
+	return nil
+}
+
 // kill unwinds all parked goroutines.
 func (s *Simulator) kill() {
-	s.stopped = true
+	s.stopFlag.Store(true)
 	for _, p := range s.procs {
 		if p.state == parkDone {
 			continue
 		}
 		p.killed = true
 		p.resume <- struct{}{}
-		<-s.parked
+		<-p.sh.parked
 	}
 }
 
 // Stop ends the simulation after the calling process parks.
-func (p *Proc) Stop() { p.sim.stopped = true }
+func (p *Proc) Stop() {
+	p.sim.stopFlag.Store(true)
+	if ps := p.sim.par; ps != nil {
+		ps.wakeAll()
+	}
+}
 
 // SetDaemon excuses the process from deadlock detection: a daemon
 // blocked forever (a fail-stopped tile draining its inbox) is listed
@@ -412,10 +522,12 @@ func (p *Proc) SetDaemon(v bool) { p.daemon = v }
 // unwinds the calling goroutine. Run returns the error after killing
 // the remaining processes.
 func (p *Proc) abort(err error) {
-	if p.sim.abortErr == nil {
+	if ps := p.sim.par; ps != nil {
+		ps.recordAbort(p.sh.now, p.id, err)
+	} else if p.sim.abortErr == nil {
 		p.sim.abortErr = err
 	}
-	p.sim.stopped = true
+	p.sim.stopFlag.Store(true)
 	panic(errKilled{})
 }
 
@@ -431,7 +543,7 @@ func (p *Proc) Name() string { return p.name }
 
 // Now returns the process's current local virtual time, including
 // accumulated cycles not yet synchronized with the scheduler.
-func (p *Proc) Now() Time { return p.sim.now + p.local }
+func (p *Proc) Now() Time { return p.sh.now + p.local }
 
 // Tick accrues d cycles of purely local work without yielding to the
 // scheduler. The accrued time becomes visible at the next Advance, Send,
@@ -456,13 +568,13 @@ func (p *Proc) Advance(d Time) {
 }
 
 func (p *Proc) advance(d Time) {
-	p.sim.schedule(p, p.sim.now+d)
+	p.sh.schedule(p, p.sh.now+d)
 	p.park()
 }
 
 // park hands control back to the scheduler and blocks until resumed.
 func (p *Proc) park() {
-	p.sim.parked <- struct{}{}
+	p.sh.parked <- struct{}{}
 	<-p.resume
 	if p.killed {
 		panic(errKilled{})

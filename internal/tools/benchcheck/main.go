@@ -1,8 +1,8 @@
 // Command benchcheck is the perf-regression smoke gate: it re-measures
 // the headline simulator benchmarks (the machine_run_gzip micro, the
-// serial quick figure suite, and the quick fleet fault-tolerance
-// sweep) and compares them against the
-// recorded trajectory in BENCH_sim.json. A metric that regresses
+// serial quick figure suite, the quick fleet fault-tolerance sweep,
+// and the sharded-engine parallel_sim fleet) and compares them against
+// the recorded trajectory in BENCH_sim.json. A metric that regresses
 // beyond its tolerance fails the run. Tolerances are deliberately
 // generous — shared CI hosts are noisy — so only a structural
 // regression (an accidental O(n²), a lost pooling optimization) trips
@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 	"time"
 
@@ -28,7 +29,8 @@ import (
 
 // baseline mirrors the slice of BENCH_sim.json this gate reads.
 type baseline struct {
-	Micro map[string]struct {
+	HostCPUs int `json:"host_cpus"`
+	Micro    map[string]struct {
 		NsPerOp     int64 `json:"ns_per_op"`
 		AllocsPerOp int64 `json:"allocs_per_op"`
 	} `json:"micro"`
@@ -40,6 +42,10 @@ type baseline struct {
 			Seconds float64 `json:"seconds"`
 		} `json:"fleet_fault"`
 	} `json:"quick_suite"`
+	ParallelSim *struct {
+		ShardedSeconds float64 `json:"sharded_seconds"`
+		Speedup        float64 `json:"speedup"`
+	} `json:"parallel_sim"`
 }
 
 func loadBaseline(path string) (*baseline, error) {
@@ -139,10 +145,11 @@ func measureFleetFaultSweep() (float64, error) {
 
 func main() {
 	var (
-		basePath  = flag.String("baseline", "BENCH_sim.json", "recorded trajectory to compare against")
-		timeTol   = flag.Float64("time-tol", 2.5, "wall-clock regression tolerance (multiple of baseline)")
-		allocTol  = flag.Float64("alloc-tol", 1.25, "allocs/op regression tolerance (multiple of baseline)")
-		skipSuite = flag.Bool("skip-suite", false, "skip the quick figure suite (micro only)")
+		basePath     = flag.String("baseline", "BENCH_sim.json", "recorded trajectory to compare against")
+		timeTol      = flag.Float64("time-tol", 2.5, "wall-clock regression tolerance (multiple of baseline)")
+		allocTol     = flag.Float64("alloc-tol", 1.25, "allocs/op regression tolerance (multiple of baseline)")
+		speedupFloor = flag.Float64("speedup-floor", 1.5, "minimum parallel_sim speedup on hosts with >= 4 CPUs (asserted only there; 1-CPU hosts report skipped)")
+		skipSuite    = flag.Bool("skip-suite", false, "skip the quick figure suite (micro only)")
 	)
 	flag.Parse()
 
@@ -150,6 +157,10 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchcheck:", err)
 		os.Exit(1)
+	}
+	if base.HostCPUs != 0 && base.HostCPUs != runtime.NumCPU() {
+		fmt.Fprintf(os.Stderr, "benchcheck: note: baseline measured on %d CPU(s), this host has %d — wall-clock comparisons are cross-host-class\n",
+			base.HostCPUs, runtime.NumCPU())
 	}
 
 	fmt.Fprintln(os.Stderr, "benchcheck: measuring machine_run_gzip...")
@@ -179,6 +190,45 @@ func main() {
 			os.Exit(1)
 		}
 		ms = append(ms, metric{"quick_suite fleet_fault seconds", base.QuickSuite.FleetFault.Seconds, ffSecs, *timeTol})
+
+		fmt.Fprintln(os.Stderr, "benchcheck: running sharded fleet (parallel_sim)...")
+		simW := runtime.NumCPU()
+		if simW < 2 {
+			simW = 2 // determinism check still runs on 1-CPU hosts
+		}
+		fp, err := bench.FleetParallelBench(simW)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(1)
+		}
+		if !fp.Identical {
+			fmt.Fprintln(os.Stderr, "benchcheck: parallel_sim: sharded fleet result DIVERGED from serial — the engine's bit-for-bit contract is broken")
+			os.Exit(1)
+		}
+		var baseSharded float64
+		if base.ParallelSim != nil {
+			baseSharded = base.ParallelSim.ShardedSeconds
+		}
+		ms = append(ms, metric{"parallel_sim sharded seconds", baseSharded, fp.ShardedSeconds, *timeTol})
+		// The speedup assertion only means anything with real cores
+		// behind the shards: on a 1-CPU host the goroutines time-slice
+		// one core and the best possible outcome is ~1x, so the gate
+		// reduces to the determinism check above.
+		switch {
+		case runtime.NumCPU() == 1:
+			fmt.Printf("%-28s skipped: 1 CPU (determinism checked, speedup not asserted)\n", "parallel_sim speedup")
+		case runtime.NumCPU() >= 4:
+			fmt.Printf("%-28s %.2fx at %d workers on %d CPUs (floor %.2fx)\n",
+				"parallel_sim speedup", fp.Speedup, fp.Workers, runtime.NumCPU(), *speedupFloor)
+			if fp.Speedup < *speedupFloor {
+				fmt.Fprintf(os.Stderr, "benchcheck: REGRESSION: parallel_sim speedup %.2fx below floor %.2fx on %d CPUs\n",
+					fp.Speedup, *speedupFloor, runtime.NumCPU())
+				os.Exit(1)
+			}
+		default:
+			fmt.Printf("%-28s %.2fx at %d workers on %d CPUs (floor waived below 4 CPUs)\n",
+				"parallel_sim speedup", fp.Speedup, fp.Workers, runtime.NumCPU())
+		}
 	}
 
 	lines, violations := evaluate(ms)
