@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race racepar race-fleet race-sim cover-fleet bench bench-check fuzz fuzz-smoke replay-smoke trace-smoke fleet-smoke fleet-fault-smoke linkcheck
+.PHONY: check vet build test race racepar race-fleet race-sim cover-fleet bench bench-check fuzz fuzz-smoke replay-smoke trace-smoke fleet-smoke fleet-fault-smoke tilevmd-smoke linkcheck
 
 # The full gate: what CI (and a pre-commit) should run.
 check: vet build test racepar
@@ -125,6 +125,14 @@ fleet-fault-smoke:
 	cmp /tmp/tilevm-fleet-fault-a.txt /tmp/tilevm-fleet-fault-b.txt
 	grep -q 'quarantined' /tmp/tilevm-fleet-fault-a.txt
 	rm -f /tmp/tilevm-fleet-fault-a.txt /tmp/tilevm-fleet-fault-b.txt
+
+# End-to-end daemon smoke: start tilevmd on an ephemeral port, submit
+# two guests over HTTP, poll them to completion, scrape /metrics, then
+# SIGTERM and assert a graceful drain with exit 0.
+tilevmd-smoke:
+	$(GO) build -o /tmp/tilevmd-smoke-bin ./cmd/tilevmd
+	$(GO) run ./internal/tools/servicesmoke -bin /tmp/tilevmd-smoke-bin
+	rm -f /tmp/tilevmd-smoke-bin
 
 # Verify that every relative link in the markdown docs points at a file
 # that exists.

@@ -63,6 +63,18 @@ type output struct {
 		FleetFault suiteResult `json:"fleet_fault"`
 	} `json:"quick_suite"`
 
+	// ServiceThroughput is the daemon-layer benchmark: a closed-loop
+	// run of gzip jobs through internal/service (admission queue →
+	// batch scheduler → core.RunFleet), reporting wall seconds per
+	// finished job. Wall-clock, so benchcheck gates it with the
+	// generous time tolerance.
+	ServiceThroughput struct {
+		Jobs          int     `json:"jobs"`
+		SecondsPerJob float64 `json:"seconds_per_job"`
+		Seconds       float64 `json:"seconds"`
+		HostCPUs      int     `json:"host_cpus"`
+	} `json:"service_throughput"`
+
 	// ParallelSim is the sharded-event-loop benchmark: one
 	// oversubscribed 12-guest fleet on an 8×8 fabric, run on the serial
 	// loop and on the sharded engine. Identical must always be true —
@@ -243,6 +255,18 @@ func main() {
 	}
 	out.QuickSuite.FleetFault = suiteResult{Workers: 1, Seconds: time.Since(ffStart).Seconds(), HostCPUs: cpus}
 
+	fmt.Fprintln(os.Stderr, "simbench: service throughput (closed-loop daemon layer)...")
+	const svcJobs = 8
+	secPerJob, svcRes, err := bench.ServiceThroughputBench(svcJobs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(1)
+	}
+	out.ServiceThroughput.Jobs = svcJobs
+	out.ServiceThroughput.SecondsPerJob = secPerJob
+	out.ServiceThroughput.Seconds = svcRes.Wall.Seconds()
+	out.ServiceThroughput.HostCPUs = cpus
+
 	simW := *workers
 	if simW < 2 {
 		simW = 2 // determinism check still runs on 1-CPU hosts
@@ -290,4 +314,6 @@ func main() {
 		*outPath, serial, par, *workers, out.HostCPUs)
 	fmt.Printf("simbench: parallel_sim %.2fs serial, %.2fs sharded ×%d (%.2fx, identical=%v)\n",
 		fp.SerialSeconds, fp.ShardedSeconds, fp.Workers, fp.Speedup, fp.Identical)
+	fmt.Printf("simbench: service_throughput %.3fs/job over %d closed-loop jobs\n",
+		secPerJob, svcJobs)
 }

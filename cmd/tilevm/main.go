@@ -46,6 +46,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"tilevm/internal/bench"
 	"tilevm/internal/checkpoint"
@@ -77,6 +78,7 @@ func main() {
 		morph      = flag.Bool("morph", false, "dynamic virtual architecture reconfiguration")
 		threshold  = flag.Int("threshold", 5, "morphing queue-length threshold")
 		maxCycles  = flag.Uint64("maxcycles", 0, "simulation watchdog (0 = default)")
+		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the run; an expired run is interrupted and exits non-zero (0 = none; composes with -deadline, which is virtual cycles)")
 		simWorkers = flag.Int("sim-workers", 1, "simulation event-loop workers; >1 shards fleet runs by VM slot with bit-identical results (serial fallback when slots are coupled by lending, faults, or tracing)")
 		faultPlan  = flag.String("fault-plan", "", "fault plan, e.g. 'fail:7@150000,drop:0.01,delay:0.02+400,corrupt:0.01,dram:0.05,stall:6@30000+5000'")
 		faultSeed  = flag.Uint64("fault-seed", 0, "seed for the fault plan's probabilistic clauses")
@@ -132,6 +134,12 @@ func main() {
 	}
 	if *tracePath != "" && (replaying || *recordPath != "") {
 		die(fmt.Errorf("-trace conflicts with -record/-replay/-replay-diff (recorded runs are driven by the bench harness)"))
+	}
+	if *timeout < 0 {
+		die(fmt.Errorf("-timeout must be non-negative"))
+	}
+	if *timeout != 0 && (replaying || *recordPath != "" || *dump != "") {
+		die(fmt.Errorf("-timeout conflicts with -record/-replay/-replay-diff/-dump (a wall-clock limit cutting a run short would make the artifact non-reproducible)"))
 	}
 
 	// Fleet mode: validate the whole invocation — flag conflicts, the
@@ -246,6 +254,9 @@ func main() {
 			trc = core.NewTracerFor(fleetCfg.Params, *traceEvery)
 			fleetCfg.Tracer = trc
 		}
+		intr, stopTimer := armTimeout(*timeout)
+		fleetCfg.Interrupt = intr
+		defer stopTimer()
 		res, err := core.RunFleet(imgs, fleetCfg, core.FleetConfig{
 			Lend:         *lendFlag,
 			MaxAttempts:  *maxAtt,
@@ -262,6 +273,9 @@ func main() {
 			}
 		}
 		if err != nil {
+			if core.Interrupted(err) {
+				die(fmt.Errorf("wall-clock timeout %v exceeded (%v)", *timeout, err))
+			}
 			die(err)
 		}
 		reportFleet(res, fleetNames, fleetSlots, *verbose)
@@ -343,6 +357,9 @@ func main() {
 		trc = core.NewTracer(*traceEvery)
 		cfg.Tracer = trc
 	}
+	intr, stopTimer := armTimeout(*timeout)
+	cfg.Interrupt = intr
+	defer stopTimer()
 
 	res, err := core.Run(img, cfg)
 	// Write the trace even when the run failed: a timeline of a run that
@@ -359,9 +376,24 @@ func main() {
 		}
 	}
 	if err != nil {
+		if core.Interrupted(err) {
+			die(fmt.Errorf("wall-clock timeout %v exceeded (%v)", *timeout, err))
+		}
 		die(err)
 	}
 	report(res, *verbose)
+}
+
+// armTimeout arms a wall-clock interrupt for the run: after d the
+// simulation is stopped from outside virtual time. d == 0 returns a
+// nil handle (core treats it as absent) and a no-op stop.
+func armTimeout(d time.Duration) (*core.InterruptHandle, func()) {
+	if d == 0 {
+		return nil, func() {}
+	}
+	h := core.NewInterruptHandle()
+	t := time.AfterFunc(d, h.Interrupt)
+	return h, func() { t.Stop() }
 }
 
 // writeTrace writes the Chrome trace JSON and, when interval sampling

@@ -1,0 +1,388 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"tilevm/internal/service"
+)
+
+// TrafficSpec describes a synthetic load against the fleet daemon's
+// Service layer. Two generator shapes share it:
+//
+//   - open loop (Rate > 0): arrivals follow a seeded Poisson process
+//     at Rate jobs/sec, independent of completions — the generator
+//     never waits, so an overloaded service must shed rather than
+//     exert backpressure on the arrival process. BurstFactor > 1
+//     overlays on/off burstiness: every BurstEvery arrivals, the next
+//     BurstLen arrivals come at Rate*BurstFactor.
+//   - closed loop (Rate == 0): Closed workers each keep exactly one
+//     job in flight, submitting the next the moment the previous
+//     reaches a terminal state. This measures sustainable service
+//     capacity with zero queueing pressure beyond the worker count.
+//
+// All randomness (inter-arrival gaps, workload and class picks) is
+// drawn up front from Seed, so the submission *sequence* is
+// deterministic even though wall-clock interleaving is not.
+type TrafficSpec struct {
+	Seed int64
+	Jobs int
+
+	// Open-loop knobs.
+	Rate        float64 // mean arrivals per second; 0 selects closed loop
+	BurstFactor float64 // burst rate multiplier (values <= 1 disable bursts)
+	BurstEvery  int     // arrivals between burst onsets
+	BurstLen    int     // arrivals per burst
+
+	// Closed-loop knob.
+	Closed int // concurrent workers (default 2×slots)
+
+	// Job shape. Workloads are picked uniformly (default 164.gzip);
+	// Mix picks the class uniformly (default normal).
+	Timeout        time.Duration
+	DeadlineCycles uint64
+	Workloads      []string
+	Mix            []service.Class
+}
+
+// LoadResult aggregates one traffic run. Percentiles are exact
+// (nearest-rank over the sorted terminal latencies), not estimated
+// from histogram buckets.
+type LoadResult struct {
+	Submitted    int            // submission attempts
+	Accepted     int            // admitted to the queue
+	RejectedFull int            // structured queue-full rejections
+	States       map[string]int // terminal state name -> count (includes "shed")
+	Finished     int            // jobs reaching StateFinished
+
+	Wall          time.Duration // first submission to last terminal state
+	P50, P95, P99 time.Duration // submit-to-terminal latency over all admitted jobs
+	Throughput    float64       // finished jobs per wall-clock second
+	HostInsts     uint64        // goodput numerator summed over finished jobs
+}
+
+// jobPick is one pre-drawn submission: the deterministic part of an
+// arrival, independent of when it lands.
+type jobPick struct {
+	id       string
+	workload string
+	class    service.Class
+	gap      time.Duration // open loop: wait before submitting
+}
+
+// drawPicks materializes the full deterministic submission sequence.
+func drawPicks(spec TrafficSpec) []jobPick {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	workloads := spec.Workloads
+	if len(workloads) == 0 {
+		workloads = []string{"164.gzip"}
+	}
+	picks := make([]jobPick, spec.Jobs)
+	burstLeft := 0
+	for i := range picks {
+		rate := spec.Rate
+		if spec.BurstFactor > 1 && spec.BurstEvery > 0 {
+			if burstLeft > 0 {
+				rate *= spec.BurstFactor
+				burstLeft--
+			} else if i > 0 && i%spec.BurstEvery == 0 {
+				burstLeft = spec.BurstLen
+			}
+		}
+		var gap time.Duration
+		if rate > 0 {
+			gap = time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+		}
+		class := service.ClassNormal
+		if len(spec.Mix) > 0 {
+			class = spec.Mix[rng.Intn(len(spec.Mix))]
+		}
+		picks[i] = jobPick{
+			id:       fmt.Sprintf("load-%04d", i),
+			workload: workloads[rng.Intn(len(workloads))],
+			class:    class,
+			gap:      gap,
+		}
+	}
+	return picks
+}
+
+// RunServiceLoad drives one traffic run against a fresh Service built
+// from cfg and returns the aggregate. The service is drained before
+// returning, so every admitted job is terminal in the result. Retain
+// is raised to cover the run if the caller left it too small — the
+// aggregation reads every job back via List.
+func RunServiceLoad(cfg service.Config, spec TrafficSpec) (*LoadResult, error) {
+	if spec.Jobs <= 0 {
+		return nil, fmt.Errorf("bench: TrafficSpec.Jobs must be positive")
+	}
+	if cfg.Retain < spec.Jobs {
+		cfg.Retain = spec.Jobs
+	}
+	svc, err := service.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	picks := drawPicks(spec)
+	res := &LoadResult{States: map[string]int{}}
+	accepted := make([]string, 0, spec.Jobs)
+
+	start := time.Now()
+	if spec.Rate > 0 {
+		acc, rej, err := runOpenLoop(svc, picks, spec)
+		if err != nil {
+			return nil, err
+		}
+		accepted, res.RejectedFull = acc, rej
+	} else {
+		acc, err := runClosedLoop(svc, picks, spec)
+		if err != nil {
+			return nil, err
+		}
+		accepted = acc
+	}
+	res.Submitted = spec.Jobs
+	res.Accepted = len(accepted)
+
+	// Every admitted job reaches a terminal state (finish, fail,
+	// timeout, deadline, or shed by a later arrival) — wait for all.
+	for _, id := range accepted {
+		done, err := svc.Done(id)
+		if err != nil {
+			return nil, fmt.Errorf("bench: lost track of admitted job %s: %w", id, err)
+		}
+		<-done
+	}
+	res.Wall = time.Since(start)
+	if err := svc.Drain(context.Background()); err != nil {
+		return nil, fmt.Errorf("bench: drain: %w", err)
+	}
+
+	lats := make([]time.Duration, 0, len(accepted))
+	for _, id := range accepted {
+		v, err := svc.Get(id)
+		if err != nil {
+			return nil, fmt.Errorf("bench: job %s evicted before aggregation: %w", id, err)
+		}
+		res.States[v.State]++
+		if v.FinishedAt != nil {
+			lats = append(lats, v.FinishedAt.Sub(v.SubmittedAt))
+		}
+		if v.State == service.StateFinished.String() {
+			res.Finished++
+			if v.Result != nil {
+				res.HostInsts += v.Result.HostInsts
+			}
+		}
+	}
+	res.P50 = percentile(lats, 0.50)
+	res.P95 = percentile(lats, 0.95)
+	res.P99 = percentile(lats, 0.99)
+	if secs := res.Wall.Seconds(); secs > 0 {
+		res.Throughput = float64(res.Finished) / secs
+	}
+	return res, nil
+}
+
+// runOpenLoop submits every pick at its scheduled arrival time,
+// never waiting for completions. Queue-full rejections are counted;
+// any other submission error aborts the run.
+func runOpenLoop(svc *service.Service, picks []jobPick, spec TrafficSpec) (accepted []string, rejected int, err error) {
+	for _, p := range picks {
+		if p.gap > 0 {
+			time.Sleep(p.gap)
+		}
+		_, err := svc.Submit(service.Spec{
+			ID:             p.id,
+			Workload:       p.workload,
+			Class:          p.class,
+			Timeout:        spec.Timeout,
+			DeadlineCycles: spec.DeadlineCycles,
+		})
+		switch {
+		case err == nil:
+			accepted = append(accepted, p.id)
+		case isQueueFull(err):
+			rejected++
+		default:
+			return nil, 0, fmt.Errorf("bench: submit %s: %w", p.id, err)
+		}
+	}
+	return accepted, rejected, nil
+}
+
+// runClosedLoop keeps Closed jobs in flight: each worker claims the
+// next pick, submits it, and blocks on its terminal state before
+// claiming another. Submission order across workers is racy, but the
+// pick sequence itself is fixed, and a closed loop can never overflow
+// a queue deeper than the worker count.
+func runClosedLoop(svc *service.Service, picks []jobPick, spec TrafficSpec) ([]string, error) {
+	workers := spec.Closed
+	if workers <= 0 {
+		workers = 2 * svc.Slots()
+	}
+	if workers > len(picks) {
+		workers = len(picks)
+	}
+	next := make(chan jobPick, len(picks))
+	for _, p := range picks {
+		next <- p
+	}
+	close(next)
+
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for p := range next {
+				_, err := svc.Submit(service.Spec{
+					ID:             p.id,
+					Workload:       p.workload,
+					Class:          p.class,
+					Timeout:        spec.Timeout,
+					DeadlineCycles: spec.DeadlineCycles,
+				})
+				if err != nil {
+					errc <- fmt.Errorf("bench: submit %s: %w", p.id, err)
+					return
+				}
+				done, err := svc.Done(p.id)
+				if err != nil {
+					errc <- err
+					return
+				}
+				<-done
+			}
+			errc <- nil
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errc; err != nil {
+			return nil, err
+		}
+	}
+	accepted := make([]string, len(picks))
+	for i, p := range picks {
+		accepted[i] = p.id
+	}
+	return accepted, nil
+}
+
+func isQueueFull(err error) bool {
+	return errors.Is(err, service.ErrQueueFull)
+}
+
+// percentile is the exact nearest-rank percentile of the sample; it
+// sorts a copy and returns 0 for an empty sample.
+func percentile(lats []time.Duration, q float64) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(lats))
+	copy(sorted, lats)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// String renders the run as the EXPERIMENTS.md table row body.
+func (r *LoadResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "submitted %d, accepted %d, rejected %d", r.Submitted, r.Accepted, r.RejectedFull)
+	keys := make([]string, 0, len(r.States))
+	for k := range r.States {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, ", %s %d", k, r.States[k])
+	}
+	fmt.Fprintf(&b, "; %.2f jobs/s, p50 %v p95 %v p99 %v",
+		r.Throughput, r.P50.Round(time.Millisecond),
+		r.P95.Round(time.Millisecond), r.P99.Round(time.Millisecond))
+	return b.String()
+}
+
+// ServiceOverloadReport is the EXPERIMENTS.md daemon experiment:
+// measure the sustainable rate with a closed loop on a 4×4 fabric
+// (2 VM slots), then drive a seeded bursty open-loop flood at 2× that
+// rate into a deliberately small queue. The report shows both runs;
+// the claim under test is that overload degrades structurally — sheds
+// and 429s, bounded queue, every admitted job terminal — rather than
+// by crash or unbounded backlog.
+func ServiceOverloadReport(closedJobs, openJobs int) (string, error) {
+	cfg := service.Config{Width: 4, Height: 4, QueueCap: 4}
+	closed, err := RunServiceLoad(cfg, TrafficSpec{Seed: 1, Jobs: closedJobs})
+	if err != nil {
+		return "", fmt.Errorf("closed loop: %w", err)
+	}
+	sustainable := closed.Throughput
+	open, err := RunServiceLoad(cfg, TrafficSpec{
+		Seed:        42,
+		Jobs:        openJobs,
+		Rate:        2 * sustainable,
+		BurstFactor: 4,
+		BurstEvery:  8,
+		BurstLen:    4,
+		Timeout:     30 * time.Second,
+		Mix:         []service.Class{service.ClassLow, service.ClassNormal, service.ClassHigh},
+	})
+	if err != nil {
+		return "", fmt.Errorf("open loop at 2x: %w", err)
+	}
+	terminal := 0
+	for _, n := range open.States {
+		terminal += n
+	}
+	if terminal != open.Accepted {
+		return "", fmt.Errorf("accounting hole: %d admitted, %d terminal", open.Accepted, terminal)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "| run | offered | accepted | 429s | shed | finished | jobs/s | p50 | p95 | p99 |\n")
+	fmt.Fprintf(&b, "|---|---|---|---|---|---|---|---|---|---|\n")
+	row := func(name string, r *LoadResult) {
+		fmt.Fprintf(&b, "| %s | %d | %d | %d | %d | %d | %.1f | %v | %v | %v |\n",
+			name, r.Submitted, r.Accepted, r.RejectedFull,
+			r.States[service.StateShed.String()], r.Finished, r.Throughput,
+			r.P50.Round(time.Millisecond), r.P95.Round(time.Millisecond),
+			r.P99.Round(time.Millisecond))
+	}
+	row("closed loop (capacity probe)", closed)
+	row(fmt.Sprintf("open loop @ 2x (%.0f/s, 4x bursts)", 2*sustainable), open)
+	return b.String(), nil
+}
+
+// ServiceThroughputBench is the simbench entry: a closed-loop run of
+// short gzip jobs over a 4×4 fabric (2 VM slots), reporting mean
+// seconds per finished job. Wall-clock, so BENCH_sim.json gates it
+// with a generous time tolerance.
+func ServiceThroughputBench(jobs int) (secPerJob float64, res *LoadResult, err error) {
+	if jobs <= 0 {
+		jobs = 8
+	}
+	res, err = RunServiceLoad(service.Config{
+		Width:    4,
+		Height:   4,
+		QueueCap: jobs,
+	}, TrafficSpec{
+		Seed: 1,
+		Jobs: jobs,
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	if res.Finished != jobs {
+		return 0, res, fmt.Errorf("bench: %d of %d closed-loop jobs finished", res.Finished, jobs)
+	}
+	return res.Wall.Seconds() / float64(res.Finished), res, nil
+}

@@ -148,6 +148,20 @@ type Config struct {
 	DispatchLog      io.Writer
 	DispatchLogLimit int
 
+	// Interrupt, if non-nil, lets a host goroutine cancel the run from
+	// outside virtual time (wall-clock timeouts, operator cancels): the
+	// run stops between event dispatches and returns an error matching
+	// core.Interrupted. Partial results are returned alongside it.
+	Interrupt *InterruptHandle
+
+	// PanicAtDispatch is a robustness-test hook: when nonzero, the exec
+	// tile kernel panics at that dispatch-loop iteration. It exists to
+	// prove the panic-containment boundary (sim.PanicError →
+	// core.InternalError → a structured job failure in tilevmd) end to
+	// end, with the panic raised from a real tile kernel deep inside
+	// the simulation rather than a stub.
+	PanicAtDispatch uint64
+
 	// SimWorkers is the simulation event-loop worker count. 0 or 1 (the
 	// default) runs the serial scheduler. Above 1, a fleet run
 	// (RunFleet) shards the fabric by VM slot and runs slot sub-loops

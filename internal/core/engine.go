@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"tilevm/internal/checkpoint"
@@ -10,6 +11,7 @@ import (
 	"tilevm/internal/metrics"
 	"tilevm/internal/mmu"
 	"tilevm/internal/raw"
+	"tilevm/internal/sim"
 	"tilevm/internal/translate"
 )
 
@@ -261,6 +263,7 @@ func runAttempt(img *guest.Image, cfg Config, ck *checkpoint.Checkpointer,
 		restore:   restore,
 	}
 	e.m.Sim.SetLimit(cfg.MaxCycles)
+	cfg.Interrupt.bind(e.m.Sim)
 	if start > 0 {
 		e.m.Sim.SetStart(start)
 	}
@@ -340,6 +343,14 @@ func runAttempt(img *guest.Image, cfg Config, ck *checkpoint.Checkpointer,
 	// Partial results are returned alongside the error so callers can
 	// diagnose watchdog/abort conditions.
 	if simErr != nil {
+		var perr *sim.PanicError
+		if errors.As(simErr, &perr) {
+			// A panicking tile kernel becomes a structured InternalError:
+			// single-machine runs have exactly one guest to blame.
+			ie := internalFromSim(perr)
+			ie.Guest, ie.Slot = 0, 0
+			return res, nil, ie
+		}
 		return res, nil, fmt.Errorf("core: simulation failed: %w", simErr)
 	}
 	if e.execErr != nil {

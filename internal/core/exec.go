@@ -61,6 +61,10 @@ func (e *engine) execKernel(c *raw.TileCtx) {
 			e.capture(c, l1, env)
 		}
 		e.stats.BlockDispatches++
+		if e.cfg.PanicAtDispatch != 0 && e.stats.BlockDispatches == e.cfg.PanicAtDispatch {
+			panic(fmt.Sprintf("injected test panic at dispatch %d (guest pc %#x)",
+				e.stats.BlockDispatches, pc))
+		}
 		tDisp := c.Now()
 		c.Tick(P.DispatchOcc + P.L1LookupOcc)
 		source := "L1"

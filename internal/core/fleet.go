@@ -1,7 +1,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"runtime/debug"
 
 	"tilevm/internal/checkpoint"
 	"tilevm/internal/fault"
@@ -115,6 +117,7 @@ const (
 	phaseFinished
 	phaseAborted
 	phaseDeadline
+	phaseInternal
 )
 
 // pendingGuest is one admission-queue entry: guest gi becomes eligible
@@ -196,7 +199,17 @@ type fleetRun struct {
 // (or CheckpointInterval set) guests checkpoint at their dispatch
 // boundary and a retry resumes from the latest snapshot instead of the
 // image.
-func RunFleet(imgs []*guest.Image, cfg Config, fc FleetConfig) (*FleetResult, error) {
+func RunFleet(imgs []*guest.Image, cfg Config, fc FleetConfig) (res *FleetResult, err error) {
+	// Panic containment, host side: tile-kernel panics are already
+	// converted to sim.PanicError by the event loop, and this boundary
+	// catches everything else (carving, admission bookkeeping, result
+	// collection), so a caller holding a fleet of other work — the
+	// tilevmd scheduler — can never be taken down by one batch.
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, internalFromPanic(r, debug.Stack())
+		}
+	}()
 	if len(imgs) == 0 {
 		return nil, fmt.Errorf("core: fleet mode needs at least one guest")
 	}
@@ -305,6 +318,7 @@ func RunFleet(imgs []*guest.Image, cfg Config, fc FleetConfig) (*FleetResult, er
 		}
 	}
 	fl.m.Sim.SetLimit(cfg.MaxCycles)
+	cfg.Interrupt.bind(fl.m.Sim)
 	fl.m.SetTracer(cfg.Tracer)
 	for gi := range fl.slotOf {
 		fl.slotOf[gi] = -1
@@ -352,7 +366,19 @@ func RunFleet(imgs []*guest.Image, cfg Config, fc FleetConfig) (*FleetResult, er
 
 	simErr := fl.m.Run()
 
-	res := fl.collect()
+	// A tile-kernel panic is attributed to the guest whose slot hosted
+	// the panicking process before results are collected, so the victim
+	// reports GuestInternalError while finished guests keep their
+	// results.
+	var ie *InternalError
+	var perr *sim.PanicError
+	if errors.As(simErr, &perr) {
+		ie = fl.attributePanic(perr)
+	}
+	res = fl.collect()
+	if ie != nil {
+		return res, ie
+	}
 	if simErr != nil {
 		return res, fmt.Errorf("core: fleet simulation failed: %w", simErr)
 	}
@@ -362,6 +388,28 @@ func RunFleet(imgs []*guest.Image, cfg Config, fc FleetConfig) (*FleetResult, er
 		}
 	}
 	return res, nil
+}
+
+// attributePanic maps a sim-level panic onto the fleet: the slot whose
+// tile process panicked, and the guest that slot was hosting. The
+// victim guest (if it was running) turns terminal with the
+// InternalError; every other non-terminal guest stays GuestPending —
+// the caller decides whether to re-run them.
+func (fl *fleetRun) attributePanic(perr *sim.PanicError) *InternalError {
+	ie := internalFromSim(perr)
+	for si, h := range fl.hosts {
+		for _, p := range h.procs {
+			if p.ID() == perr.Pid {
+				ie.Slot, ie.Guest = si, h.guest
+				if fl.phase[ie.Guest] == phaseRunning {
+					fl.phase[ie.Guest] = phaseInternal
+					fl.errs[ie.Guest] = ie
+				}
+				return ie
+			}
+		}
+	}
+	return ie
 }
 
 // newEngine builds the engine binding guest gi to slot si.
@@ -656,6 +704,8 @@ func (fl *fleetRun) collect() *FleetResult {
 			gr.Status = GuestAborted
 		case phaseDeadline:
 			gr.Status = GuestDeadlineExceeded
+		case phaseInternal:
+			gr.Status = GuestInternalError
 		default:
 			gr.Status = GuestPending
 		}

@@ -52,6 +52,11 @@ const (
 	GuestAborted
 	// GuestDeadlineExceeded: the guest was cancelled at its deadline.
 	GuestDeadlineExceeded
+	// GuestInternalError: the guest's slot hosted a tile kernel that
+	// panicked — a simulator bug (or injected fault), not a guest
+	// program error. The panic is preserved in the guest's Err as an
+	// *InternalError.
+	GuestInternalError
 )
 
 func (s GuestStatus) String() string {
@@ -64,6 +69,8 @@ func (s GuestStatus) String() string {
 		return "aborted"
 	case GuestDeadlineExceeded:
 		return "deadline-exceeded"
+	case GuestInternalError:
+		return "internal-error"
 	}
 	return fmt.Sprintf("GuestStatus(%d)", uint8(s))
 }

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// Robustness-boundary tests: a panicking tile kernel must surface as a
+// structured *InternalError (never crash the host), and a host-side
+// interrupt must stop a run promptly with an error satisfying
+// Interrupted. Both paths use only deterministic triggers —
+// Config.PanicAtDispatch and a pre-armed InterruptHandle — so every
+// assertion is exact.
+
+func TestRunPanicBecomesInternalError(t *testing.T) {
+	img := fleetImgs(t, "164.gzip")[0]
+	cfg := DefaultConfig()
+	cfg.PanicAtDispatch = 50
+
+	res, err := Run(img, cfg)
+	var ie *InternalError
+	if !errors.As(err, &ie) {
+		t.Fatalf("err = %v, want *InternalError", err)
+	}
+	if ie.Guest != 0 || ie.Slot != 0 {
+		t.Errorf("attribution = guest %d slot %d, want 0/0", ie.Guest, ie.Slot)
+	}
+	if !strings.Contains(ie.Value, "injected test panic") {
+		t.Errorf("Value = %q, want the injected panic message", ie.Value)
+	}
+	if ie.Stack == "" {
+		t.Error("InternalError carries no stack trace")
+	}
+	if ie.Proc == "" {
+		t.Error("InternalError names no simulation process")
+	}
+	if res == nil {
+		t.Error("panic discarded the partial result")
+	}
+}
+
+func TestFleetPanicBecomesInternalError(t *testing.T) {
+	imgs := fleetImgs(t, "164.gzip", "181.mcf")
+	cfg := fleetCfg(4, 4)
+	cfg.PanicAtDispatch = 50
+
+	run := func() (*FleetResult, *InternalError) {
+		res, err := RunFleet(imgs, cfg, FleetConfig{})
+		var ie *InternalError
+		if !errors.As(err, &ie) {
+			t.Fatalf("err = %v, want *InternalError", err)
+		}
+		return res, ie
+	}
+	res, ie := run()
+	if ie.Guest < 0 || ie.Guest >= len(imgs) || ie.Slot < 0 {
+		t.Fatalf("panic unattributed: guest %d slot %d", ie.Guest, ie.Slot)
+	}
+	if ie.Stack == "" || !strings.Contains(ie.Value, "injected test panic") {
+		t.Errorf("InternalError incomplete: value %q, stack %d bytes",
+			ie.Value, len(ie.Stack))
+	}
+	if res == nil {
+		t.Fatal("panic discarded the partial fleet result")
+	}
+	victim := res.Guests[ie.Guest]
+	if victim.Status != GuestInternalError {
+		t.Errorf("victim guest %d status = %v, want %v",
+			ie.Guest, victim.Status, GuestInternalError)
+	}
+	var verr *InternalError
+	if !errors.As(victim.Err, &verr) || verr != ie {
+		t.Errorf("victim Err = %v, want the returned InternalError", victim.Err)
+	}
+	if GuestInternalError.String() != "internal-error" {
+		t.Errorf("GuestInternalError.String() = %q", GuestInternalError.String())
+	}
+
+	// The containment path is as deterministic as the fault-free run:
+	// same victim, same cycle, same results.
+	res2, ie2 := run()
+	if ie2.Guest != ie.Guest || ie2.Slot != ie.Slot || ie2.Cycle != ie.Cycle {
+		t.Errorf("panic attribution not deterministic: %d/%d@%d vs %d/%d@%d",
+			ie.Guest, ie.Slot, ie.Cycle, ie2.Guest, ie2.Slot, ie2.Cycle)
+	}
+	// Stack traces embed goroutine addresses, so compare the results
+	// with the victim's error blanked on both sides.
+	res.Guests[ie.Guest].Err, res2.Guests[ie2.Guest].Err = nil, nil
+	if !reflect.DeepEqual(res, res2) {
+		t.Error("partial fleet results differ across identical panicking runs")
+	}
+}
+
+func TestRunInterruptPreArmed(t *testing.T) {
+	img := fleetImgs(t, "164.gzip")[0]
+	cfg := DefaultConfig()
+	cfg.Interrupt = NewInterruptHandle()
+	// Interrupting before the run starts must cancel it at its first
+	// event — the cancel-before-run race a wall-clock timeout can hit.
+	cfg.Interrupt.Interrupt()
+
+	res, err := Run(img, cfg)
+	if !Interrupted(err) {
+		t.Fatalf("err = %v, want an interrupted error", err)
+	}
+	if res == nil {
+		t.Error("interrupt discarded the partial result")
+	} else if res.Cycles != 0 {
+		t.Errorf("pre-armed interrupt ran %d cycles, want 0", res.Cycles)
+	}
+}
+
+func TestFleetInterruptPreArmed(t *testing.T) {
+	imgs := fleetImgs(t, "164.gzip", "181.mcf")
+	cfg := fleetCfg(4, 4)
+	cfg.Interrupt = NewInterruptHandle()
+	cfg.Interrupt.Interrupt()
+
+	res, err := RunFleet(imgs, cfg, FleetConfig{})
+	if !Interrupted(err) {
+		t.Fatalf("err = %v, want an interrupted error", err)
+	}
+	if res == nil {
+		t.Fatal("interrupt discarded the partial fleet result")
+	}
+	for gi, g := range res.Guests {
+		if g.Status == GuestFinished {
+			t.Errorf("guest %d finished under a pre-armed interrupt", gi)
+		}
+	}
+}
+
+func TestInterruptHandleNilSafe(t *testing.T) {
+	var h *InterruptHandle
+	h.Interrupt() // must not panic
+	h.bind(nil)
+	if Interrupted(nil) {
+		t.Error("Interrupted(nil) = true")
+	}
+	if Interrupted(errors.New("other")) {
+		t.Error("Interrupted reports true for an unrelated error")
+	}
+}

@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryText pins the exact exposition text: sorted families,
+// sorted vector children, histogram bucket/sum/count conventions.
+func TestRegistryText(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("tilevmd_jobs_submitted_total", "Jobs accepted for admission.")
+	c.Add(3)
+	g := r.NewGauge("tilevmd_queue_depth", "Jobs waiting for a batch.")
+	g.Set(2)
+	r.NewGaugeFunc("tilevmd_up", "Always 1 while serving.", func() float64 { return 1 })
+	v := r.NewCounterVec("tilevmd_jobs_shed_total", "Jobs rejected at admission.", "class")
+	v.Inc("low")
+	v.Add("high", 2)
+	h := r.NewHistogram("tilevmd_job_latency_seconds", "Submit-to-terminal latency.",
+		[]float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	want := strings.Join([]string{
+		"# HELP tilevmd_job_latency_seconds Submit-to-terminal latency.",
+		"# TYPE tilevmd_job_latency_seconds histogram",
+		`tilevmd_job_latency_seconds_bucket{le="0.1"} 1`,
+		`tilevmd_job_latency_seconds_bucket{le="1"} 2`,
+		`tilevmd_job_latency_seconds_bucket{le="+Inf"} 3`,
+		"tilevmd_job_latency_seconds_sum 5.55",
+		"tilevmd_job_latency_seconds_count 3",
+		"# HELP tilevmd_jobs_shed_total Jobs rejected at admission.",
+		"# TYPE tilevmd_jobs_shed_total counter",
+		`tilevmd_jobs_shed_total{class="high"} 2`,
+		`tilevmd_jobs_shed_total{class="low"} 1`,
+		"# HELP tilevmd_jobs_submitted_total Jobs accepted for admission.",
+		"# TYPE tilevmd_jobs_submitted_total counter",
+		"tilevmd_jobs_submitted_total 3",
+		"# HELP tilevmd_queue_depth Jobs waiting for a batch.",
+		"# TYPE tilevmd_queue_depth gauge",
+		"tilevmd_queue_depth 2",
+		"# HELP tilevmd_up Always 1 while serving.",
+		"# TYPE tilevmd_up gauge",
+		"tilevmd_up 1",
+		"",
+	}, "\n")
+	if got := r.Text(); got != want {
+		t.Errorf("exposition text mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	// Rendering is stable across repeated scrapes.
+	if again := r.Text(); again != want {
+		t.Error("second scrape differs from the first")
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	r.NewGauge("x", "")
+}
+
+func TestCounterVecAccessors(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("n", "", "k")
+	if v.Value("absent") != 0 {
+		t.Error("untouched child not zero")
+	}
+	v.Inc("a")
+	v.Add("b", 4)
+	if v.Total() != 5 || v.Value("a") != 1 || v.Value("b") != 4 {
+		t.Errorf("counts = total %d, a %d, b %d", v.Total(), v.Value("a"), v.Value("b"))
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("esc", "h", "k")
+	v.Inc("a\"b\\c\nd")
+	if got, want := r.Text(), `esc{k="a\"b\\c\nd"} 1`; !strings.Contains(got, want) {
+		t.Errorf("escaped sample %q not in:\n%s", want, got)
+	}
+}
+
+func TestHistogramEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("h", "", []float64{1, 2})
+	h.Observe(1) // on-boundary lands in the le="1" bucket
+	h.Observe(3) // beyond the last bound: only +Inf and count
+	text := r.Text()
+	for _, want := range []string{
+		`h_bucket{le="1"} 1`, `h_bucket{le="2"} 1`, `h_bucket{le="+Inf"} 2`,
+		"h_sum 4", "h_count 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("descending bounds did not panic")
+		}
+	}()
+	r.NewHistogram("bad", "", []float64{2, 1})
+}
+
+// TestConcurrentUpdates drives every metric kind from many goroutines
+// under -race and checks the totals.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c", "")
+	g := r.NewGauge("g", "")
+	v := r.NewCounterVec("v", "", "k")
+	h := r.NewHistogram("h", "", []float64{10})
+	const workers, each = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Inc()
+				g.Set(float64(i))
+				v.Inc("k1")
+				h.Observe(1)
+				_ = r.Text() // concurrent scrapes must be safe
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*each || v.Value("k1") != workers*each || h.Count() != workers*each {
+		t.Errorf("lost updates: c %d, v %d, h %d", c.Value(), v.Value("k1"), h.Count())
+	}
+}

@@ -525,7 +525,9 @@ func (s *Simulator) runSharded() error {
 		panic("sim: tracing is not supported in a sharded run")
 	}
 	ps := newParState(s)
+	s.parMu.Lock()
 	s.par = ps
+	s.parMu.Unlock()
 	for _, p := range s.procs {
 		go p.run()
 	}
@@ -548,6 +550,15 @@ func (s *Simulator) runSharded() error {
 		err = ps.abortErr
 	}
 	ps.mu.Unlock()
+	if err == nil && s.intrFlag.Load() {
+		now := Time(0)
+		for _, sh := range s.shards {
+			if sh.now > now {
+				now = sh.now
+			}
+		}
+		err = &InterruptedError{Now: now}
+	}
 	if err == nil && !s.stopFlag.Load() {
 		now := Time(0)
 		for _, sh := range s.shards {
@@ -558,6 +569,8 @@ func (s *Simulator) runSharded() error {
 		err = s.deadlockOrNil(now)
 	}
 	s.kill()
+	s.parMu.Lock()
 	s.par = nil
+	s.parMu.Unlock()
 	return err
 }

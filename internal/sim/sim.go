@@ -24,7 +24,9 @@ package sim
 
 import (
 	"fmt"
+	"runtime/debug"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"tilevm/internal/trace"
@@ -171,12 +173,12 @@ type shard struct {
 	parked chan struct{} // signalled by a proc of this shard when it parks or exits
 
 	// Parallel-only fields (guarded by parState.mu; see shard.go).
-	boundAt      Time // lower bound on this shard's next dispatch key
-	boundPid     int  // pid refinement of boundAt (-1 = conservative)
-	quiet        bool // no events and no staged messages
-	midDispatch  bool // a process of this shard is currently running
-	fenceWaiting bool // the running process is parked in a Fence wait
-	limitStalled bool // next event exceeds the time limit
+	boundAt      Time    // lower bound on this shard's next dispatch key
+	boundPid     int     // pid refinement of boundAt (-1 = conservative)
+	quiet        bool    // no events and no staged messages
+	midDispatch  bool    // a process of this shard is currently running
+	fenceWaiting bool    // the running process is parked in a Fence wait
+	limitStalled bool    // next event exceeds the time limit
 	pending      []xsend // cross-shard sends queued by other shards
 	buf          []xsend // staged sends awaiting horizon, shard-owned
 }
@@ -215,10 +217,12 @@ type Simulator struct {
 	procs    []*Proc
 	ports    []*Port
 	stopFlag atomic.Bool
-	limit    Time // 0 means no limit
+	intrFlag atomic.Bool // host-side Interrupt requested
+	limit    Time        // 0 means no limit
 	started  bool
-	abortErr error     // fatal error raised from inside a process
-	par      *parState // non-nil while a sharded Run is active
+	abortErr error      // fatal error raised from inside a process
+	par      *parState  // non-nil while a sharded Run is active
+	parMu    sync.Mutex // guards par for host-side (cross-goroutine) readers
 
 	// Trace, if non-nil, is the run's virtual-time event sink (see
 	// internal/trace). The kernel itself stays off the timeline — it
@@ -287,6 +291,50 @@ type TimeLimitError struct{ Limit Time }
 
 func (e *TimeLimitError) Error() string {
 	return fmt.Sprintf("sim: time limit %d exceeded", e.Limit)
+}
+
+// PanicError reports a panic inside a process body. The kernel
+// converts the panic into a structured simulation error instead of
+// letting it unwind the host program: the remaining processes are
+// killed cleanly and Run returns this error, so a buggy (or
+// deliberately sabotaged) tile kernel can never take down a caller
+// that has fleets of other work in flight.
+type PanicError struct {
+	Proc  string // name of the process that panicked
+	Pid   int    // its process id (spawn order)
+	Now   Time   // the shard clock at dispatch time
+	Value string // the recovered panic value, stringified
+	Stack string // the panicking goroutine's stack
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sim: process %q (pid %d) panicked at cycle %d: %s", e.Proc, e.Pid, e.Now, e.Value)
+}
+
+// InterruptedError reports a host-side Interrupt: the simulation was
+// stopped from outside virtual time (a wall-clock timeout, an
+// operator cancellation) rather than by any process.
+type InterruptedError struct{ Now Time }
+
+func (e *InterruptedError) Error() string {
+	return fmt.Sprintf("sim: interrupted by the host at cycle %d", e.Now)
+}
+
+// Interrupt requests a host-side stop. Unlike Stop it may be called
+// from any goroutine at any time — before Run, mid-run, or after —
+// and the in-flight (or next) Run returns an InterruptedError once
+// the currently dispatched process parks. Virtual time never moves
+// backwards and no event is half-applied: the interrupt lands between
+// event dispatches, exactly like a time-limit stop.
+func (s *Simulator) Interrupt() {
+	s.intrFlag.Store(true)
+	s.stopFlag.Store(true)
+	s.parMu.Lock()
+	ps := s.par
+	s.parMu.Unlock()
+	if ps != nil {
+		ps.wakeAll()
+	}
 }
 
 // New returns an empty simulator.
@@ -436,6 +484,9 @@ func (s *Simulator) Run() error {
 	if s.abortErr != nil && err == nil {
 		err = s.abortErr
 	}
+	if err == nil && s.intrFlag.Load() {
+		err = &InterruptedError{Now: sh.now}
+	}
 	if !s.stopFlag.Load() && len(sh.events.ev) == 0 && err == nil {
 		err = s.deadlockOrNil(sh.now)
 	}
@@ -444,7 +495,10 @@ func (s *Simulator) Run() error {
 }
 
 // run is a process goroutine: it waits for its first dispatch, executes
-// the body, and signals its shard when done (or when killed).
+// the body, and signals its shard when done (or when killed). A panic
+// in the body is contained: it becomes a PanicError aborting the
+// simulation, not a host-program crash — the goroutine parks cleanly
+// so the event loop (serial or sharded) sees an ordinary exit.
 func (p *Proc) run() {
 	defer func() {
 		if r := recover(); r != nil {
@@ -453,7 +507,22 @@ func (p *Proc) run() {
 				p.sh.parked <- struct{}{}
 				return
 			}
-			panic(r)
+			perr := &PanicError{
+				Proc:  p.name,
+				Pid:   p.id,
+				Now:   p.sh.now,
+				Value: fmt.Sprint(r),
+				Stack: string(debug.Stack()),
+			}
+			if ps := p.sim.par; ps != nil {
+				ps.recordAbort(p.sh.now, p.id, perr)
+			} else if p.sim.abortErr == nil {
+				p.sim.abortErr = perr
+			}
+			p.sim.stopFlag.Store(true)
+			p.state = parkDone
+			p.sh.parked <- struct{}{}
+			return
 		}
 	}()
 	// Wait for first dispatch.

@@ -46,6 +46,10 @@ type baseline struct {
 		ShardedSeconds float64 `json:"sharded_seconds"`
 		Speedup        float64 `json:"speedup"`
 	} `json:"parallel_sim"`
+	ServiceThroughput struct {
+		Jobs          int     `json:"jobs"`
+		SecondsPerJob float64 `json:"seconds_per_job"`
+	} `json:"service_throughput"`
 }
 
 func loadBaseline(path string) (*baseline, error) {
@@ -229,6 +233,27 @@ func main() {
 			fmt.Printf("%-28s %.2fx at %d workers on %d CPUs (floor waived below 4 CPUs)\n",
 				"parallel_sim speedup", fp.Speedup, fp.Workers, runtime.NumCPU())
 		}
+	}
+
+	if !*skipSuite {
+		// Daemon-layer throughput: re-run at the baseline's job count
+		// so seconds/job is comparable. A baseline file predating the
+		// counter has Jobs == 0 — evaluate reports but never fails
+		// zero-baseline metrics, so old baselines stay green.
+		svcJobs := base.ServiceThroughput.Jobs
+		if svcJobs <= 0 {
+			svcJobs = 8
+		}
+		fmt.Fprintln(os.Stderr, "benchcheck: running service throughput (closed-loop daemon layer)...")
+		secPerJob, _, err := bench.ServiceThroughputBench(svcJobs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(1)
+		}
+		// Sub-second values round to 0 in evaluate's %.0f rendering,
+		// so gate on milliseconds per job.
+		ms = append(ms, metric{"service_throughput ms/job",
+			base.ServiceThroughput.SecondsPerJob * 1e3, secPerJob * 1e3, *timeTol})
 	}
 
 	lines, violations := evaluate(ms)
