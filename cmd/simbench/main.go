@@ -75,6 +75,13 @@ type output struct {
 		HostCPUs      int     `json:"host_cpus"`
 	} `json:"service_throughput"`
 
+	// Warmup is the tiered-translation cold-start benchmark: virtual
+	// cycles from guest arrival to the first 10k retired host
+	// instructions, with the tier-0 template translator on vs. the
+	// optimizing pipeline alone. Deterministic virtual cycles — host
+	// noise cannot move these numbers.
+	Warmup *bench.WarmupResult `json:"warmup"`
+
 	// ParallelSim is the sharded-event-loop benchmark: one
 	// oversubscribed 12-guest fleet on an 8×8 fabric, run on the serial
 	// loop and on the sharded engine. Identical must always be true —
@@ -267,6 +274,14 @@ func main() {
 	out.ServiceThroughput.Seconds = svcRes.Wall.Seconds()
 	out.ServiceThroughput.HostCPUs = cpus
 
+	fmt.Fprintln(os.Stderr, "simbench: tier-0 warmup (cold-start cycles)...")
+	wres, err := bench.NewSuite().WarmupBench()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(1)
+	}
+	out.Warmup = wres
+
 	simW := *workers
 	if simW < 2 {
 		simW = 2 // determinism check still runs on 1-CPU hosts
@@ -316,4 +331,6 @@ func main() {
 		fp.SerialSeconds, fp.ShardedSeconds, fp.Workers, fp.Speedup, fp.Identical)
 	fmt.Printf("simbench: service_throughput %.3fs/job over %d closed-loop jobs\n",
 		secPerJob, svcJobs)
+	fmt.Printf("simbench: warmup tier0 %d vs opt %d cycles (%.3fx; no-spec %.3fx)\n",
+		wres.Tier0Cycles, wres.OptCycles, wres.Speedup, wres.SpeedupNoSpec)
 }

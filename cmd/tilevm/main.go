@@ -75,6 +75,8 @@ func main() {
 		l15        = flag.Int("l15", 2, "L1.5 code cache banks (0-2)")
 		membanks   = flag.Int("membanks", 4, "L2 data cache bank tiles (1 or 4)")
 		optimize   = flag.Bool("opt", true, "optimize translated blocks")
+		tier0      = flag.Bool("tier0", false, "tier-0 template translation for demand misses, with hotness-driven re-translation by the optimizing tier")
+		tierUpThr  = flag.Uint64("tier-up-threshold", 0, "retired instructions before a hot tier-0 block is promoted to the optimizing tier (0 = default; requires -tier0)")
 		morph      = flag.Bool("morph", false, "dynamic virtual architecture reconfiguration")
 		threshold  = flag.Int("threshold", 5, "morphing queue-length threshold")
 		maxCycles  = flag.Uint64("maxcycles", 0, "simulation watchdog (0 = default)")
@@ -141,6 +143,12 @@ func main() {
 	if *timeout != 0 && (replaying || *recordPath != "" || *dump != "") {
 		die(fmt.Errorf("-timeout conflicts with -record/-replay/-replay-diff/-dump (a wall-clock limit cutting a run short would make the artifact non-reproducible)"))
 	}
+	if *tierUpThr != 0 && !*tier0 {
+		die(fmt.Errorf("-tier-up-threshold requires -tier0"))
+	}
+	if *tier0 && (replaying || *recordPath != "") {
+		die(fmt.Errorf("-tier0 conflicts with -record/-replay/-replay-diff (the tier is not part of the record format)"))
+	}
 
 	// Fleet mode: validate the whole invocation — flag conflicts, the
 	// grid shape, whether the fabric fits any VM slot, and every guest
@@ -181,6 +189,8 @@ func main() {
 		fleetCfg.Optimize = *optimize
 		fleetCfg.ConservativeFlags = !*optimize
 		fleetCfg.Speculative = *spec
+		fleetCfg.Tier0 = *tier0
+		fleetCfg.TierUpThreshold = *tierUpThr
 		fleetCfg.Recovery = recMode
 		fleetCfg.CheckpointInterval = *ckEvery
 		if *maxCycles != 0 {
@@ -288,7 +298,7 @@ func main() {
 	}
 
 	if *dump != "" {
-		if err := dumpBlock(img, *dump, *optimize); err != nil {
+		if err := dumpBlock(img, *dump, *optimize, *tier0); err != nil {
 			die(err)
 		}
 		return
@@ -332,6 +342,8 @@ func main() {
 	cfg.MemBanks = *membanks
 	cfg.Optimize = *optimize
 	cfg.ConservativeFlags = !*optimize
+	cfg.Tier0 = *tier0
+	cfg.TierUpThreshold = *tierUpThr
 	cfg.Morph = *morph
 	cfg.MorphThreshold = *threshold
 	cfg.Recovery = recMode
@@ -532,9 +544,17 @@ func report(res *core.Result, verbose bool) {
 		return
 	}
 	m := res.M
+	fmt.Printf("state hash        : %016x\n", res.StateHash)
 	fmt.Printf("dispatches        : %d\n", m.BlockDispatches)
 	fmt.Printf("host instructions : %d\n", m.HostInsts)
 	fmt.Printf("translations      : %d (%d guest insts)\n", m.Translations, m.TransGuestInsts)
+	if m.Tier0Installs > 0 || m.Promotions > 0 {
+		fmt.Printf("tiered            : %d tier-0 installs, %d tier-1 installs, %d promotions\n",
+			m.Tier0Installs, m.Tier1Installs, m.Promotions)
+	}
+	if m.WarmupCycles > 0 {
+		fmt.Printf("warmup            : cycle %d\n", m.WarmupCycles)
+	}
 	fmt.Printf("demand misses     : %d\n", m.DemandMisses)
 	fmt.Printf("spec wasted       : %d\n", m.SpecWasted)
 	fmt.Printf("L1 code           : %d lookups, %.3f hit, %d flushes, %d chains\n",
@@ -564,8 +584,11 @@ func report(res *core.Result, verbose bool) {
 }
 
 // dumpBlock prints the guest basic block at the given PC and its
-// translation to host code.
-func dumpBlock(img *guest.Image, at string, optimize bool) error {
+// translation to host code. With tier0 the block goes through the
+// template tier instead (falling back like the slaves do if some
+// instruction has no template), so the two tiers' output can be
+// compared side by side.
+func dumpBlock(img *guest.Image, at string, optimize, tier0 bool) error {
 	pc := img.Entry
 	if at != "entry" {
 		v, err := strconv.ParseUint(strings.TrimPrefix(at, "0x"), 16, 32)
@@ -584,12 +607,16 @@ func dumpBlock(img *guest.Image, at string, optimize bool) error {
 		fmt.Printf("  %08x: %s\n", in.Addr, in.String())
 	}
 	tr := translate.New(translate.Options{Optimize: optimize, ConservativeFlags: !optimize})
-	res, err := tr.TranslateFinal(p.Mem, pc)
+	res, err := tr.TranslateTier(p.Mem, pc, tier0)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\ntranslated host code (%d instructions, %d bytes, optimize=%v):\n",
-		len(res.Code), res.CodeBytes, optimize)
+	tierName := "optimizing"
+	if res.Tier == translate.TierTemplate {
+		tierName = "tier-0 template"
+	}
+	fmt.Printf("\ntranslated host code (%d instructions, %d bytes, tier=%s, optimize=%v):\n",
+		len(res.Code), res.CodeBytes, tierName, optimize)
 	fmt.Print(rawisa.Disassemble(res.Code))
 	fmt.Printf("\nexit kind %v, target %#x, fallthrough %#x\n",
 		res.Kind, res.Target, res.FallTarget)

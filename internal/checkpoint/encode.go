@@ -19,7 +19,9 @@ import (
 const (
 	stateMagic  = "TVCK"
 	recordMagic = "TVRC"
-	codecVer    = 1
+	// codecVer 2 added the tiered-translation section (Tier0PCs, Hot)
+	// and the tier-0 metrics counters.
+	codecVer = 2
 )
 
 type writer struct {
@@ -319,6 +321,13 @@ func EncodeState(s *State) []byte {
 		w.u64(pi.Gen)
 	}
 
+	putU32s(w, s.Tier0PCs)
+	w.u64(uint64(len(s.Hot)))
+	for _, h := range s.Hot {
+		w.u32(h.PC)
+		w.u64(h.Insts)
+	}
+
 	putUints(w, &s.Metrics)
 	putUints(w, &s.Faults)
 
@@ -441,6 +450,14 @@ func DecodeState(data []byte) (*State, error) {
 		s.SMC.Inval = make([]PageInval, n)
 		for i := range s.SMC.Inval {
 			s.SMC.Inval[i] = PageInval{Page: r.u32(), Gen: r.u64()}
+		}
+	}
+
+	s.Tier0PCs = getU32s(r)
+	if n := r.count(2); r.err == nil {
+		s.Hot = make([]HotPC, n)
+		for i := range s.Hot {
+			s.Hot[i] = HotPC{PC: r.u32(), Insts: r.u64()}
 		}
 	}
 

@@ -78,6 +78,8 @@ func sampleState() *State {
 			CodePages: []uint32{0x8048},
 			Inval:     []PageInval{{Page: 0x8048, Gen: 5}},
 		},
+		Tier0PCs: []uint32{0x8048020},
+		Hot:      []HotPC{{PC: 0x8048000, Insts: 9_999}},
 	}
 	s.Metrics.BlockDispatches = 123_456
 	s.Metrics.HostInsts = 789_012

@@ -432,6 +432,7 @@ func (fl *fleetRun) newEngine(gi, si int) *engine {
 		trackWork: fl.dead != nil,
 		fleetDead: fl.dead,
 	}
+	e.initTierState()
 	if fl.cks != nil {
 		e.ck = fl.cks[gi]
 	}

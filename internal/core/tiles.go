@@ -7,6 +7,7 @@ import (
 	"tilevm/internal/mmu"
 	"tilevm/internal/raw"
 	"tilevm/internal/sim"
+	"tilevm/internal/translate"
 )
 
 // workerBody returns the kernel for a slave/bank tile. Every worker can
@@ -119,20 +120,29 @@ func (e *engine) workerBody(initial roleKind) func(*raw.TileCtx) {
 }
 
 // doTranslate performs one translation unit on a slave tile, charging
-// the modeled decode/IR/codegen occupancy, and reports the result.
+// the modeled translation occupancy, and reports the result. Tier
+// choice goes through translate.TranslateTier — the single dispatch
+// point shared with rollback re-translation — so record/replay and
+// restore can never disagree on which tier produced a block.
 func (e *engine) doTranslate(c *raw.TileCtx, m work, replyTo int) {
 	P := e.cfg.Params
 	t0 := c.Now()
-	res, err := m.Translator.TranslateFinal(m.Mem, m.PC)
+	res, err := m.Translator.TranslateTier(m.Mem, m.PC, m.Tier0)
 	if err != nil {
 		c.Tick(P.TransBaseOcc)
 		e.trc().Span(c.Tile, "translate", t0, c.Now(), "pc", uint64(m.PC), "depth", uint64(m.Depth))
 		c.Send(replyTo, transDone{PC: m.PC, Depth: m.Depth, Gen: m.Gen, Res: nil}, wordsCtl)
 		return
 	}
-	cost := uint64(res.GuestLen)*P.TransFetchOcc + uint64(res.NumGuest)*P.TransBaseOcc
-	if m.Optimize {
-		cost += uint64(res.NumGuest) * P.TransOptOcc
+	var cost uint64
+	if res.Tier == translate.TierTemplate {
+		// Template emission: one decode pass, no IR, no regalloc.
+		cost = uint64(res.GuestLen)*P.TransFetchOcc + uint64(res.NumGuest)*P.Tier0BaseOcc
+	} else {
+		cost = uint64(res.GuestLen)*P.TransFetchOcc + uint64(res.NumGuest)*P.TransBaseOcc
+		if m.Optimize {
+			cost += uint64(res.NumGuest) * P.TransOptOcc
+		}
 	}
 	c.Tick(cost)
 	e.trc().Span(c.Tile, "translate", t0, c.Now(), "pc", uint64(m.PC), "depth", uint64(m.Depth))

@@ -50,6 +50,10 @@ type baseline struct {
 		Jobs          int     `json:"jobs"`
 		SecondsPerJob float64 `json:"seconds_per_job"`
 	} `json:"service_throughput"`
+	Warmup *struct {
+		Tier0Cycles uint64 `json:"tier0_cycles"`
+		OptCycles   uint64 `json:"opt_cycles"`
+	} `json:"warmup"`
 }
 
 func loadBaseline(path string) (*baseline, error) {
@@ -255,6 +259,28 @@ func main() {
 		ms = append(ms, metric{"service_throughput ms/job",
 			base.ServiceThroughput.SecondsPerJob * 1e3, secPerJob * 1e3, *timeTol})
 	}
+
+	// Tiered-translation cold start: deterministic virtual cycles, so
+	// the tolerance is tight (the default time tolerance would hide a
+	// real cost-model regression). The hard assertion — tier-0 must be
+	// faster to the first 10k retired instructions than the optimizing
+	// pipeline alone — holds regardless of the baseline's age.
+	fmt.Fprintln(os.Stderr, "benchcheck: measuring tier-0 warmup (cold-start cycles)...")
+	wres, err := bench.NewSuite().WarmupBench()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(1)
+	}
+	if wres.Tier0Cycles >= wres.OptCycles {
+		fmt.Fprintf(os.Stderr, "benchcheck: REGRESSION: tier-0 warmup %d cycles is not faster than optimizing-only %d\n",
+			wres.Tier0Cycles, wres.OptCycles)
+		os.Exit(1)
+	}
+	var baseWarmup float64
+	if base.Warmup != nil {
+		baseWarmup = float64(base.Warmup.Tier0Cycles)
+	}
+	ms = append(ms, metric{"warmup tier0 cycles", baseWarmup, float64(wres.Tier0Cycles), 1.10})
 
 	lines, violations := evaluate(ms)
 	for _, l := range lines {

@@ -8,6 +8,14 @@ import (
 	"tilevm/internal/rawisa"
 )
 
+// Translation tiers. TierTemplate is the IR-less tier-0 template path
+// (tier0.go); TierOptimizing is the full decode → IR → optimize →
+// lower pipeline.
+const (
+	TierTemplate   uint8 = 0
+	TierOptimizing uint8 = 1
+)
+
 // Result is a fully translated, executable block: finalized host code
 // plus the control-flow metadata.
 type Result struct {
@@ -18,6 +26,10 @@ type Result struct {
 	CodeBytes int
 	// Optimized records whether the optimizer ran.
 	Optimized bool
+	// Tier records which translation tier produced the block
+	// (TierTemplate or TierOptimizing); the manager's promotion logic
+	// and the code caches key off it.
+	Tier uint8
 }
 
 // TranslateFinal runs the full pipeline: block discovery, flag
@@ -46,6 +58,7 @@ func (t *Translator) TranslateFinal(mem CodeReader, addr uint32) (*Result, error
 			Code:      code,
 			CodeBytes: rawisa.CodeBytes(code),
 			Optimized: t.Opts.Optimize,
+			Tier:      TierOptimizing,
 		}, nil
 	}
 	return nil, &Error{Addr: addr, Reason: "register pressure irreducible at single-instruction block"}

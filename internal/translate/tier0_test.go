@@ -1,0 +1,92 @@
+package translate
+
+import (
+	"errors"
+	"testing"
+
+	"tilevm/internal/guest"
+	"tilevm/internal/rawisa"
+	"tilevm/internal/x86"
+)
+
+// TestTier0TemplatesCommonSubset pins that the common integer/branch/
+// mov subset really takes the template path (no silent fallback, which
+// would erase the warmup win).
+func TestTier0TemplatesCommonSubset(t *testing.T) {
+	img := image(func(a *x86.Asm) {
+		a.MovRegImm(x86.EBX, 0x12345678)
+		a.ALU(x86.ADD, x86.RegOp(x86.EBX, 4), x86.ImmOp(7, 4))
+		a.ALU(x86.CMP, x86.RegOp(x86.EBX, 4), x86.ImmOp(0, 4))
+		a.Jcc(x86.CondNE, "out")
+		a.Label("out")
+		exitWith(a)
+	})
+	p := guest.Load(img)
+	tr := New(Options{Optimize: true})
+	res, err := tr.TranslateTemplate(p.Mem, p.PC)
+	if err != nil {
+		t.Fatalf("TranslateTemplate: %v", err)
+	}
+	if res.Tier != TierTemplate {
+		t.Errorf("Tier = %d, want TierTemplate", res.Tier)
+	}
+	if res.Optimized {
+		t.Errorf("tier-0 result claims to be optimized")
+	}
+	if res.NumGuest == 0 || len(res.Code) == 0 {
+		t.Errorf("empty template translation: %d guest insts, %d host insts", res.NumGuest, len(res.Code))
+	}
+	last := res.Code[len(res.Code)-1]
+	if !last.IsBlockEnd() {
+		t.Errorf("tier-0 block does not end in an exit: %v", last)
+	}
+	for _, in := range res.Code {
+		for _, r := range []uint8{in.Rd, in.Rs, in.Rt} {
+			if r >= rawisa.NumRegs {
+				t.Fatalf("tier-0 emitted a virtual register %d in %v", r, in)
+			}
+		}
+	}
+}
+
+// TestTier0FallsBackOnUntemplated pins the dispatch rule: a block with
+// an un-templated instruction errors out of the template path and
+// TranslateTier silently reroutes it to the optimizing tier.
+func TestTier0FallsBackOnUntemplated(t *testing.T) {
+	img := image(func(a *x86.Asm) {
+		a.MovRegImm(x86.EAX, 6)
+		a.MovRegImm(x86.ECX, 7)
+		a.IMulRegRM(x86.EAX, x86.RegOp(x86.ECX, 4)) // no tier-0 template
+		exitWith(a)
+	})
+	p := guest.Load(img)
+	tr := New(Options{Optimize: true})
+	if _, err := tr.TranslateTemplate(p.Mem, p.PC); !errors.Is(err, ErrUntemplated) {
+		t.Fatalf("TranslateTemplate err = %v, want ErrUntemplated", err)
+	}
+	res, err := tr.TranslateTier(p.Mem, p.PC, true)
+	if err != nil {
+		t.Fatalf("TranslateTier: %v", err)
+	}
+	if res.Tier != TierOptimizing {
+		t.Errorf("fallback Tier = %d, want TierOptimizing", res.Tier)
+	}
+	if !res.Optimized {
+		t.Errorf("fallback result not optimized")
+	}
+}
+
+// TestTier0TierChoiceDisabled pins that TranslateTier with tier0 off is
+// exactly the optimizing pipeline.
+func TestTier0TierChoiceDisabled(t *testing.T) {
+	img := image(func(a *x86.Asm) { exitWith(a) })
+	p := guest.Load(img)
+	tr := New(Options{Optimize: true})
+	res, err := tr.TranslateTier(p.Mem, p.PC, false)
+	if err != nil {
+		t.Fatalf("TranslateTier: %v", err)
+	}
+	if res.Tier != TierOptimizing {
+		t.Errorf("Tier = %d, want TierOptimizing", res.Tier)
+	}
+}
