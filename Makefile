@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race racepar race-fleet race-sim cover-fleet bench bench-check fuzz fuzz-smoke replay-smoke trace-smoke fleet-smoke fleet-fault-smoke tilevmd-smoke tier-smoke linkcheck
+.PHONY: check vet build test race racepar race-fleet race-sim cover-fleet bench bench-check fuzz fuzz-smoke replay-smoke trace-smoke fleet-smoke fleet-fault-smoke placement-smoke tilevmd-smoke tier-smoke linkcheck
 
 # The full gate: what CI (and a pre-commit) should run.
 check: vet build test racepar
@@ -31,7 +31,7 @@ racepar:
 # admission, vmSwitch handoff, and fleet-wide lending tests, plus the
 # invariance battery, on core and bench.
 race-fleet:
-	$(GO) test -race -run 'TestFleet|TestCarve|TestMultiVM|TestPairMatches|TestRunFleet' ./internal/core
+	$(GO) test -race -timeout 1200s -run 'TestFleet|TestCarve|TestMultiVM|TestPairMatches|TestRunFleet|TestElastic|TestPlan|TestSplitRoles|TestNoFit' ./internal/core
 	$(GO) test -race -run 'TestFleetSweepQuick|TestFleetFaultSweepQuick' ./internal/bench
 
 # Sharded event loop under the race detector: the fleet invariance
@@ -49,10 +49,10 @@ race-sim:
 # Coverage summary for the fleet/placement layer (the code this PR's
 # test battery is aimed at).
 cover-fleet:
-	$(GO) test -run 'TestFleet|TestCarve|TestMultiVM|TestPairMatches|TestRunFleet|FuzzCarveFabric|FuzzQuarantineRecarve' \
+	$(GO) test -run 'TestFleet|TestCarve|TestMultiVM|TestPairMatches|TestRunFleet|TestElastic|TestPlan|TestSplitRoles|TestNoFit|FuzzCarveFabric|FuzzPlanFabric|FuzzQuarantineRecarve' \
 	  -coverprofile=/tmp/tilevm-fleet-cover.out ./internal/core
 	$(GO) tool cover -func=/tmp/tilevm-fleet-cover.out | \
-	  grep -E 'fleet\.go|fleetpolicy\.go|placement\.go|multivm\.go|total:'
+	  grep -E 'fleet\.go|fleetpolicy\.go|placement\.go|planner\.go|multivm\.go|total:'
 	rm -f /tmp/tilevm-fleet-cover.out
 
 # Perf trajectory: the microbenchmarks in bench_test.go plus the
@@ -75,6 +75,7 @@ fuzz:
 	$(GO) test ./internal/checkpoint -run - -fuzz FuzzCheckpointDecode -fuzztime 30s
 	$(GO) test ./internal/checkpoint -run - -fuzz FuzzRecordDecode -fuzztime 30s
 	$(GO) test ./internal/core -run - -fuzz FuzzCarveFabric -fuzztime 30s
+	$(GO) test ./internal/core -run - -fuzz FuzzPlanFabric -fuzztime 30s
 	$(GO) test ./internal/core -run - -fuzz FuzzQuarantineRecarve -fuzztime 30s
 
 # Quick fuzz pass for CI: enough to catch a codec regression, short
@@ -83,6 +84,7 @@ fuzz-smoke:
 	$(GO) test ./internal/checkpoint -run - -fuzz FuzzCheckpointDecode -fuzztime 10s
 	$(GO) test ./internal/checkpoint -run - -fuzz FuzzRecordDecode -fuzztime 10s
 	$(GO) test ./internal/core -run - -fuzz FuzzCarveFabric -fuzztime 10s
+	$(GO) test ./internal/core -run - -fuzz FuzzPlanFabric -fuzztime 10s
 	$(GO) test ./internal/core -run - -fuzz FuzzQuarantineRecarve -fuzztime 10s
 
 # End-to-end record/replay smoke: record a faulted rollback run, then
@@ -109,6 +111,14 @@ trace-smoke:
 # exercising carving, admission, and the fleet report.
 fleet-smoke:
 	$(GO) run ./cmd/tilevm -guests 164.gzip,181.mcf,164.gzip,181.mcf -grid 8x8
+
+# Placement-planner smoke: the quick (8×8) slot-capped oversubscribed
+# sweep — deterministic across repeats, and the cost-model planner must
+# beat the fixed 4×2 carver on makespan or utilization. Also drives one
+# planner+elastic fleet through the CLI so the flags stay wired.
+placement-smoke:
+	$(GO) test -run TestPlacementSmoke -count=1 ./internal/bench
+	$(GO) run ./cmd/tilevm -guests 164.gzip,181.mcf,164.gzip,181.mcf -grid 8x8 -planner -elastic
 
 # End-to-end fleet fault-tolerance smoke: a seeded fail-stop fault
 # quarantines a slot mid-run on an oversubscribed fleet with per-guest

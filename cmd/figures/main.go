@@ -31,7 +31,7 @@ func main() {
 		whatif     = flag.Bool("whatif", false, "also run the §4.5 hardware-assist what-if analysis")
 		util       = flag.String("utilization", "", "print per-tile utilization for a benchmark (e.g. 176.gcc)")
 		multivm    = flag.Bool("multivm", false, "also run the §5 two-VM fabric-sharing experiment")
-		fleet      = flag.Bool("fleet", false, "also run the N-guest fleet scheduler sweep (4x4 and 8x8 fabrics)")
+		fleet      = flag.Bool("fleet", false, "also run the N-guest fleet scheduler sweep (4x4/8x8/16x16 fabrics; fixed, lending, and planner placement)")
 		fleetFault = flag.Bool("fleetfault", false, "also run the fleet fault-tolerance sweep (quarantine/retry/deadline policies)")
 		faultsw    = flag.Bool("faultsweep", false, "also run the graceful-degradation fault sweep")
 		warmup     = flag.Bool("warmup", false, "also run the tier-0 cold-start benchmark (arrival to first 10k retired instructions)")

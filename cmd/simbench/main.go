@@ -89,6 +89,14 @@ type output struct {
 	// anything when host_cpus > 1.
 	ParallelSim *bench.FleetParallelResult `json:"parallel_sim"`
 
+	// PlacementSweep is the cost-model placement benchmark: fixed-shape
+	// carving vs the planner (and planner+elastic morphing) on
+	// oversubscribed slot-capped 8×8 and 16×16 fleets. All figures are
+	// virtual cycles, so they are exact on any host; Identical must
+	// always be true, and the planner must strictly beat the fixed
+	// carver on makespan or utilization on every grid.
+	PlacementSweep *bench.PlacementSweepResult `json:"placement_sweep"`
+
 	// PrePR pins the numbers measured at the commit before the perf PR
 	// (serial harness, container/heap event queue, arena-walking
 	// rawexec, no message pooling) on this same host class, so the
@@ -298,6 +306,25 @@ func main() {
 	}
 	out.ParallelSim = fp
 
+	fmt.Fprintln(os.Stderr, "simbench: placement sweep (planner vs fixed, oversubscribed fleets)...")
+	ps, err := bench.PlacementSweepBench(false)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(1)
+	}
+	if !ps.Identical {
+		fmt.Fprintln(os.Stderr, "simbench: placement_sweep: repeated runs DIVERGED — planner/elastic placement broke determinism")
+		os.Exit(1)
+	}
+	for _, g := range ps.Grids {
+		if !g.PlannerWins {
+			fmt.Fprintf(os.Stderr, "simbench: placement_sweep: planner does not strictly beat fixed shapes on %s (makespan %d vs %d, utilization %.4f vs %.4f)\n",
+				g.Grid, g.Planner.Makespan, g.Fixed.Makespan, g.Planner.Utilization, g.Fixed.Utilization)
+			os.Exit(1)
+		}
+	}
+	out.PlacementSweep = ps
+
 	out.PrePR.SimKernelNsPerOp = 19_700_000
 	out.PrePR.SimKernelAllocsPerOp = 89_763
 	out.PrePR.MachineGzipNsPerOp = 21_200_000
@@ -331,6 +358,10 @@ func main() {
 		fp.SerialSeconds, fp.ShardedSeconds, fp.Workers, fp.Speedup, fp.Identical)
 	fmt.Printf("simbench: service_throughput %.3fs/job over %d closed-loop jobs\n",
 		secPerJob, svcJobs)
+	for _, g := range ps.Grids {
+		fmt.Printf("simbench: placement_sweep %s cap %d: makespan fixed %d → planner %d (elastic %d, %d grows)\n",
+			g.Grid, g.MaxSlots, g.Fixed.Makespan, g.Planner.Makespan, g.Elastic.Makespan, g.Elastic.ElasticGrows)
+	}
 	fmt.Printf("simbench: warmup tier0 %d vs opt %d cycles (%.3fx; no-spec %.3fx)\n",
 		wres.Tier0Cycles, wres.OptCycles, wres.Speedup, wres.SpeedupNoSpec)
 }

@@ -65,7 +65,9 @@ func main() {
 		wlName     = flag.String("workload", "", "named synthetic workload (e.g. 176.gcc)")
 		guests     = flag.String("guests", "", "comma-separated workload names to run as a fleet of VMs (e.g. 164.gzip,181.mcf)")
 		grid       = flag.String("grid", "4x4", "fabric size WxH for fleet mode (requires -guests)")
-		lendFlag   = flag.Bool("lend", true, "fleet mode: lend idle translation slaves to the most backed-up VM")
+		lendFlag   = flag.Bool("lend", true, "fleet mode: lend idle translation slaves to the most backed-up VM (auto-off under -elastic)")
+		planner    = flag.Bool("planner", false, "fleet mode: cost-model placement planner — grow slots on undersubscribed fabrics and split tiles between translation slaves and cache banks per guest profile")
+		elastic    = flag.Bool("elastic", false, "fleet mode: elastic morphing — idle slots donate their tiles to running VMs and reclaim them when a queued guest arrives (forces the serial event loop)")
 		deadline   = flag.Uint64("deadline", 0, "fleet mode: per-guest virtual-cycle deadline; guests still running at the deadline are cancelled (0 = none)")
 		maxAtt     = flag.Int("max-attempts", 0, "fleet mode: admission attempts per guest before it is aborted (0 = default)")
 		retryBack  = flag.Uint64("retry-backoff", 0, "fleet mode: base virtual-cycle backoff before re-admitting a quarantined guest (0 = default)")
@@ -156,11 +158,19 @@ func main() {
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	for _, fleetOnly := range []string{
-		"grid", "lend", "deadline", "max-attempts", "retry-backoff", "retry-seed",
+		"grid", "lend", "planner", "elastic", "deadline", "max-attempts", "retry-backoff", "retry-seed",
 	} {
 		if set[fleetOnly] && *guests == "" {
 			die(fmt.Errorf("-%s requires -guests (fleet mode)", fleetOnly))
 		}
+	}
+	if *elastic {
+		// Both features move slaves between VMs; they cannot share a
+		// fabric. -lend defaults on, so only an explicit -lend conflicts.
+		if set["lend"] && *lendFlag {
+			die(fmt.Errorf("-elastic and -lend are mutually exclusive (both move slaves between VMs)"))
+		}
+		*lendFlag = false
 	}
 	var fleetNames []string
 	var fleetSlots int
@@ -267,13 +277,23 @@ func main() {
 		intr, stopTimer := armTimeout(*timeout)
 		fleetCfg.Interrupt = intr
 		defer stopTimer()
-		res, err := core.RunFleet(imgs, fleetCfg, core.FleetConfig{
+		fc := core.FleetConfig{
 			Lend:         *lendFlag,
+			Planner:      *planner,
+			Elastic:      *elastic,
 			MaxAttempts:  *maxAtt,
 			RetryBackoff: *retryBack,
 			RetrySeed:    *retrySeed,
 			Deadline:     *deadline,
-		})
+		}
+		if *planner {
+			fc.Profiles = make([]core.GuestProfile, len(fleetNames))
+			for i, n := range fleetNames {
+				p, _ := workload.ByName(n) // validated above
+				fc.Profiles[i] = core.ProfileFromWorkload(p)
+			}
+		}
+		res, err := core.RunFleet(imgs, fleetCfg, fc)
 		if trc != nil && res != nil {
 			if werr := writeTrace(trc, *tracePath); werr != nil {
 				die(werr)
@@ -482,6 +502,9 @@ func reportFleet(res *core.FleetResult, names []string, capacity int, verbose bo
 			f.SlotsQuarantined, f.GuestsRetried, f.GuestsAborted, f.GuestsDeadlineExceeded)
 		fmt.Printf("goodput   : %.3f insts/cycle, SLO attainment %.0f%% (%d/%d deadlines met)\n",
 			f.Goodput(res.Makespan), 100*f.SLOAttainment(), f.DeadlineMet, f.DeadlineTotal)
+	}
+	if f.ElasticGrows > 0 || f.ElasticShrinks > 0 {
+		fmt.Printf("elastic   : %d grows, %d shrinks\n", f.ElasticGrows, f.ElasticShrinks)
 	}
 	if !verbose {
 		return

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"tilevm/internal/fault"
+	"tilevm/internal/raw"
+	"tilevm/internal/workload"
+)
+
+// Elastic-morphing and planner battery (ISSUE 10 satellites): a guest's
+// architectural fingerprint must not depend on whether its slots came
+// from the fixed carver or the cost-model planner, nor on whole-tile
+// grow/shrink morphs happening around (or under) it mid-run.
+
+func profilesFor(t *testing.T, names ...string) []GuestProfile {
+	t.Helper()
+	out := make([]GuestProfile, len(names))
+	for i, n := range names {
+		p, ok := workload.ByName(n)
+		if !ok {
+			t.Fatalf("unknown workload %q", n)
+		}
+		out[i] = ProfileFromWorkload(p)
+	}
+	return out
+}
+
+// TestFleetInvarianceUnderPlanner re-runs the invariance battery's core
+// property with the placement planner driving the carve: grown slots
+// (undersubscribed fabrics), heterogeneous profile-driven role splits,
+// and oversubscribed hand-off churn all preserve solo fingerprints.
+func TestFleetInvarianceUnderPlanner(t *testing.T) {
+	names := []string{"164.gzip", "181.mcf", "176.gcc", "164.gzip"}
+	imgs := fleetImgs(t, names...)
+	solo := soloFingerprints(t, imgs)
+	profiles := profilesFor(t, names...)
+
+	hostings := []struct {
+		name string
+		w, h int
+		fc   FleetConfig
+	}{
+		{"8x8/planner/grown", 8, 8, FleetConfig{Planner: true}},
+		{"8x8/planner/profiles", 8, 8, FleetConfig{Planner: true, Profiles: profiles}},
+		{"4x4/planner/oversub", 4, 4, FleetConfig{Planner: true}},
+		{"8x8/planner/2slots", 8, 8, FleetConfig{Planner: true, MaxSlots: 2}},
+	}
+	for _, hc := range hostings {
+		fr, err := RunFleet(imgs, fleetCfg(hc.w, hc.h), hc.fc)
+		if err != nil {
+			t.Fatalf("%s: %v", hc.name, err)
+		}
+		checkFleetInvariance(t, hc.name, fr, imgs, solo)
+	}
+}
+
+// TestFleetInvarianceUnderElasticMorph oversubscribes a two-slot carve
+// so slots go idle at staggered times: the early-finishing slot donates
+// its service tiles to the still-running peer (a mid-run grow under a
+// live guest), which must not perturb any guest's fingerprint.
+func TestFleetInvarianceUnderElasticMorph(t *testing.T) {
+	imgs := fleetImgs(t, "164.gzip", "181.mcf", "164.gzip", "181.mcf")
+	solo := soloFingerprints(t, imgs)
+
+	for _, hc := range []struct {
+		name string
+		fc   FleetConfig
+	}{
+		{"4x4/elastic", FleetConfig{Elastic: true}},
+		{"8x8/2slots/elastic", FleetConfig{Elastic: true, MaxSlots: 2}},
+		{"8x8/2slots/planner+elastic", FleetConfig{Elastic: true, Planner: true, MaxSlots: 2}},
+	} {
+		w := 4
+		if hc.fc.MaxSlots == 2 {
+			w = 8
+		}
+		fr, err := RunFleet(imgs, fleetCfg(w, w), hc.fc)
+		if err != nil {
+			t.Fatalf("%s: %v", hc.name, err)
+		}
+		checkFleetInvariance(t, hc.name, fr, imgs, solo)
+		if fr.Fleet.ElasticGrows == 0 {
+			t.Errorf("%s: no elastic grow happened — the morph path went untested", hc.name)
+		}
+	}
+}
+
+// TestElasticSerialFallbackParity pins the determinism contract from
+// the ISSUE: elastic runs force the serial event loop, so any requested
+// -sim-workers count must produce a byte-identical FleetResult.
+func TestElasticSerialFallbackParity(t *testing.T) {
+	imgs := fleetImgs(t, "164.gzip", "181.mcf", "164.gzip", "181.mcf")
+	run := func(workers int) *FleetResult {
+		cfg := fleetCfg(8, 8)
+		cfg.SimWorkers = workers
+		fr, err := RunFleet(imgs, cfg, FleetConfig{Elastic: true, Planner: true, MaxSlots: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fr
+	}
+	serial := run(1)
+	for _, workers := range []int{2, 4, 8} {
+		if got := run(workers); !reflect.DeepEqual(serial, got) {
+			t.Errorf("SimWorkers=%d diverged from the serial elastic run", workers)
+		}
+	}
+}
+
+// TestElasticGrowShrinkCycle drives one full donate→reclaim round trip
+// under fault injection and rollback recovery: a slave fail-stop
+// quarantines slot 0 and re-queues its guest with a long backoff; slot
+// 1 goes idle first, donates its tiles to the long-running slot 2, then
+// reclaims them when the retried guest's release cycle arrives and runs
+// it to completion from its checkpoint. Both morph counters must fire,
+// every guest must finish with its solo fingerprint, and repeated runs
+// must be byte-identical.
+func TestElasticGrowShrinkCycle(t *testing.T) {
+	imgs := fleetImgs(t, "164.gzip", "164.gzip", "176.gcc")
+	layout, err := FleetSlotLayout(func() raw.Params {
+		p := raw.DefaultParams()
+		p.Width, p.Height = 8, 8
+		return p
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) *FleetResult {
+		cfg := fleetCfg(8, 8)
+		cfg.SimWorkers = workers
+		cfg.Recovery = RecoverRollback
+		cfg.Fault = &fault.Plan{Seed: 11, Fails: []fault.TileFail{
+			{Tile: layout[0].Slaves[0], Cycle: 500_000},
+		}}
+		fr, err := RunFleet(imgs, cfg, FleetConfig{
+			Elastic: true, MaxSlots: 3,
+			RetryBackoff: 3_000_000, RetrySeed: 11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fr
+	}
+	a := run(1)
+	if !reflect.DeepEqual(a, run(1)) {
+		t.Error("elastic fault run not deterministic across repeats")
+	}
+	if !reflect.DeepEqual(a, run(4)) {
+		t.Error("elastic fault run diverges under -sim-workers (serial fallback broken)")
+	}
+	if a.Fleet.ElasticGrows == 0 || a.Fleet.ElasticShrinks == 0 {
+		t.Fatalf("morph counters %+v: want at least one grow and one shrink", a.Fleet)
+	}
+	if a.Fleet.SlotsQuarantined != 1 || a.Fleet.GuestsRetried != 1 {
+		t.Fatalf("fleet counters %+v: want 1 quarantine, 1 retry", a.Fleet)
+	}
+	solo := soloFingerprints(t, imgs)
+	for gi, g := range a.Guests {
+		if g.Status != GuestFinished || g.Result == nil {
+			t.Fatalf("guest %d = %v (%v), want finished", gi, g.Status, g.Err)
+		}
+		if got, want := fingerprint(g.Result), solo[imgs[gi]]; got != want {
+			t.Errorf("guest %d fingerprint diverged\n got %+v\nwant %+v", gi, got, want)
+		}
+	}
+	g0 := a.Guests[0]
+	if g0.Attempts != 2 {
+		t.Errorf("guest 0 ran %d attempts, want 2", g0.Attempts)
+	}
+	if g0.Result.M.Rollbacks != 1 {
+		t.Errorf("guest 0 recorded %d rollbacks, want 1 (retry must restore from checkpoint)", g0.Result.M.Rollbacks)
+	}
+}
+
+// TestElasticLendMutuallyExclusive pins the config validation: both
+// features move slaves between VMs and cannot share a fabric.
+func TestElasticLendMutuallyExclusive(t *testing.T) {
+	imgs := fleetImgs(t, "164.gzip", "164.gzip")
+	_, err := RunFleet(imgs, fleetCfg(4, 4), FleetConfig{Elastic: true, Lend: true})
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("want mutual-exclusion error, got %v", err)
+	}
+	if _, err := RunFleet(imgs, fleetCfg(4, 4), FleetConfig{Profiles: []GuestProfile{{}, {}}}); err == nil ||
+		!strings.Contains(err.Error(), "require the placement Planner") {
+		t.Fatalf("want profiles-require-planner error, got %v", err)
+	}
+}

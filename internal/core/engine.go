@@ -72,6 +72,11 @@ type engine struct {
 	cancelled bool
 	trackWork bool
 	fleetDead map[int]bool
+	// elastic is the fleet-wide elastic-morphing ledger (nil outside
+	// elastic fleet mode), shared by every engine like fleetDead so it
+	// survives slot epoch changes; the manager consults it to release
+	// donated tiles back to their owner slot.
+	elastic *elasticState
 
 	// Self-modifying-code tracking (single-threaded in virtual time,
 	// shared between the execution tile's detector and the manager's

@@ -45,6 +45,26 @@ type FleetConfig struct {
 	// MaxSlots caps the number of carved VM slots (0 = as many slots as
 	// fit the fabric, never more than the number of guests).
 	MaxSlots int
+	// Planner replaces the fixed 4×2/2×4 carve with the cost-model
+	// placement planner (planner.go): slot shapes grow with the
+	// fabric-to-guest ratio, and each slot's slave/bank split follows
+	// its guest's profile. Capacity is unchanged — the planner's base
+	// tier is the fixed carve, so a fleet that fits without the planner
+	// fits with it.
+	Planner bool
+	// Profiles optionally supplies per-guest cost models for the
+	// planner, index-aligned with imgs (zero entries take the default
+	// profile; length must be zero or len(imgs)). Requires Planner.
+	// Slot i is shaped from Profiles[i] because initial admission binds
+	// guest i to slot i.
+	Profiles []GuestProfile
+	// Elastic lets running VMs grow and shrink by whole tiles: a slot
+	// with no admissible next guest donates its service tiles to busy
+	// peers (they self-register as extra translation slaves) and
+	// reclaims them before its next admission. Mutually exclusive with
+	// Lend — both move slaves between VMs and would fight over the same
+	// tiles.
+	Elastic bool
 
 	// MaxAttempts caps how many times one guest may be admitted to a
 	// slot (first run plus retries after quarantines). 0 means
@@ -137,6 +157,67 @@ type slotHost struct {
 	// them at quarantine time.
 	quarantined bool
 	procs       []*sim.Proc
+	// Elastic-morphing state (nil unless FleetConfig.Elastic). extra
+	// lists tiles donated into this slot, serving its current engine as
+	// additional translation slaves; donated lists the tiles this slot
+	// has donated out (still listed after a quarantine rescue idles
+	// them, so the slot never double-donates).
+	extra   []int
+	donated []int
+}
+
+// removeExtra drops one donated-in tile from the slot's extra list.
+func (h *slotHost) removeExtra(t int) {
+	kept := h.extra[:0]
+	for _, x := range h.extra {
+		if x != t {
+			kept = append(kept, x)
+		}
+	}
+	h.extra = kept
+}
+
+// tileRedirect retargets one donated tile's slot wrapper: while an
+// entry exists the tile serves the target slot's current engine as an
+// extra translation slave (idle false), or idles awaiting its owner's
+// next handoff (idle true).
+type tileRedirect struct {
+	to   *slotHost
+	idle bool
+}
+
+// elasticState is the fleet-wide elastic-morphing ledger, shared by
+// every engine (like fleetDead) so it survives slot epoch changes and
+// quarantines.
+type elasticState struct {
+	// reclaim maps a donated tile to the owner exec tile awaiting its
+	// reclaimDone. Entry deletion (commit) is the single release point:
+	// whichever party — the target's manager, the tile's own slot
+	// wrapper, or the quarantine rescue — finds the entry first commits
+	// it and generates exactly one reclaimDone; latecomers find it gone
+	// and do nothing.
+	reclaim map[int]int
+	// donatedAt maps a donated tile to the slot index it serves; the
+	// entry lives until the tile's reclaim commits (or a quarantine
+	// rescues it), so a concurrent handoff still sweeps the tile.
+	donatedAt map[int]int
+	hosts     []*slotHost
+}
+
+// commit removes tile t's pending-reclaim entry and drops t from its
+// target slot's extra list. It returns the owner exec tile to notify,
+// or false when no reclaim is pending (or another party already
+// committed).
+func (es *elasticState) commit(t int) (int, bool) {
+	owner, ok := es.reclaim[t]
+	if !ok {
+		return -1, false
+	}
+	delete(es.reclaim, t)
+	if ti, found := es.donatedAt[t]; found {
+		es.hosts[ti].removeExtra(t)
+	}
+	return owner, true
 }
 
 // fleetRun is the host-side fleet scheduler state. The discrete-event
@@ -182,6 +263,13 @@ type fleetRun struct {
 	maxAttempts     int
 	backoffBase     uint64
 	fleet           metrics.FleetSet
+
+	// Elastic-morphing state (nil/zero unless fc.Elastic). redirect
+	// retargets donated tiles' slot wrappers; rotor round-robins
+	// donations over running peers so no single slot hoards them.
+	elastic  *elasticState
+	redirect map[int]*tileRedirect
+	rotor    int
 
 	remaining int // guests not yet terminal; 0 stops the simulation
 }
@@ -229,6 +317,16 @@ func RunFleet(imgs []*guest.Image, cfg Config, fc FleetConfig) (res *FleetResult
 		return nil, fmt.Errorf("core: %d per-guest deadlines for %d guests (need none or one per guest)",
 			len(fc.Deadlines), len(imgs))
 	}
+	if len(fc.Profiles) != 0 && !fc.Planner {
+		return nil, fmt.Errorf("core: fleet guest Profiles require the placement Planner")
+	}
+	if len(fc.Profiles) != 0 && len(fc.Profiles) != len(imgs) {
+		return nil, fmt.Errorf("core: %d guest profiles for %d guests (need none or one per guest)",
+			len(fc.Profiles), len(imgs))
+	}
+	if fc.Elastic && fc.Lend {
+		return nil, fmt.Errorf("core: elastic morphing and slave lending are mutually exclusive (both move slaves between VMs)")
+	}
 	if cfg.Recovery == RecoverRollback && cfg.CheckpointInterval == 0 {
 		cfg.CheckpointInterval = DefaultCheckpointInterval
 	}
@@ -245,6 +343,15 @@ func RunFleet(imgs []*guest.Image, cfg Config, fc FleetConfig) (res *FleetResult
 	}
 	if len(slots) > len(imgs) {
 		slots = slots[:len(imgs)]
+	}
+	if fc.Planner {
+		// Re-carve with the planner at the slot count the fixed carve
+		// settled on, so MaxSlots and capacity semantics are identical;
+		// the planner only changes shapes and role splits.
+		slots, err = planFabric(cfg.Params, fc.Profiles, len(slots))
+		if err != nil {
+			return nil, err
+		}
 	}
 	if !cfg.Fault.Empty() {
 		if err := validateFleetFaultPlan(cfg.Fault, slots, cfg.Params); err != nil {
@@ -280,6 +387,10 @@ func RunFleet(imgs []*guest.Image, cfg Config, fc FleetConfig) (res *FleetResult
 	}
 	if fl.backoffBase == 0 {
 		fl.backoffBase = DefaultRetryBackoff
+	}
+	if fc.Elastic {
+		fl.elastic = &elasticState{reclaim: map[int]int{}, donatedAt: map[int]int{}, hosts: fl.hosts}
+		fl.redirect = map[int]*tileRedirect{}
 	}
 	for gi := range fl.deadline {
 		fl.deadline[gi] = fc.Deadline
@@ -358,7 +469,7 @@ func RunFleet(imgs []*guest.Image, cfg Config, fc FleetConfig) (res *FleetResult
 	// the shard boundary, so any of them keeps the serial loop; the
 	// parallel engine is bit-identical, not merely equivalent, so the
 	// fallback is an implementation detail rather than a semantic one.
-	if cfg.SimWorkers > 1 && len(slots) > 1 && !fc.Lend &&
+	if cfg.SimWorkers > 1 && len(slots) > 1 && !fc.Lend && !fc.Elastic &&
 		cfg.Fault.Empty() && cfg.Tracer == nil && cfg.DispatchLog == nil &&
 		len(fl.events) == 0 {
 		fl.shardSlots(cfg.SimWorkers)
@@ -431,6 +542,7 @@ func (fl *fleetRun) newEngine(gi, si int) *engine {
 		vmLabel:   fmt.Sprintf("vm%d", gi),
 		trackWork: fl.dead != nil,
 		fleetDead: fl.dead,
+		elastic:   fl.elastic,
 	}
 	e.initTierState()
 	if fl.cks != nil {
@@ -481,7 +593,7 @@ func (fl *fleetRun) spawnSlots() {
 					fl.finished[h.guest] = e.stopCycles
 					fl.noteFinished(h.guest, e)
 				}
-				gi, ok := fl.nextGuest(c, h)
+				gi, ok := fl.nextGuest(c, h, si)
 				if !ok {
 					// No queued guest and none can appear: leave the slot's
 					// service tiles running under the finished epoch so its
@@ -498,17 +610,26 @@ func (fl *fleetRun) spawnSlots() {
 		}))
 		add(fl.m.SpawnTile(pl.mmu, "mmu", func(c *raw.TileCtx) {
 			for {
+				if fl.runRedirected(c) {
+					continue
+				}
 				h.cur.mmuKernel(c)
 			}
 		}))
 		add(fl.m.SpawnTile(pl.sys, "syscall", func(c *raw.TileCtx) {
 			for {
+				if fl.runRedirected(c) {
+					continue
+				}
 				h.cur.sysKernel(c)
 			}
 		}))
 		for _, t := range pl.l15 {
 			add(fl.m.SpawnTile(t, "l15", func(c *raw.TileCtx) {
 				for {
+					if fl.runRedirected(c) {
+						continue
+					}
 					h.cur.l15Kernel(c)
 				}
 			}))
@@ -516,6 +637,9 @@ func (fl *fleetRun) spawnSlots() {
 		for _, t := range pl.slaves {
 			add(fl.m.SpawnTile(t, "worker", func(c *raw.TileCtx) {
 				for {
+					if fl.runRedirected(c) {
+						continue
+					}
 					h.cur.workerBody(roleSlave)(c)
 				}
 			}))
@@ -523,11 +647,150 @@ func (fl *fleetRun) spawnSlots() {
 		for _, t := range pl.banks {
 			add(fl.m.SpawnTile(t, "worker", func(c *raw.TileCtx) {
 				for {
+					if fl.runRedirected(c) {
+						continue
+					}
 					h.cur.workerBody(roleBank)(c)
 				}
 			}))
 		}
 	}
+}
+
+// runRedirected intercepts a service tile's kernel restart when the
+// tile has been donated to another slot (elastic morphing): it serves
+// the target slot's engine as an extra translation slave, or — once its
+// owner has marked it for reclaim — commits the reclaim and idles until
+// the owner's next handoff sweeps it back. Reports whether it consumed
+// one kernel epoch; false (always, outside elastic mode) means the
+// caller runs the tile's home kernel.
+func (fl *fleetRun) runRedirected(c *raw.TileCtx) bool {
+	r := fl.redirect[c.Tile]
+	if r == nil {
+		return false
+	}
+	if r.idle {
+		if owner, ok := fl.elastic.commit(c.Tile); ok {
+			c.Send(owner, reclaimDone{Tile: c.Tile}, wordsCtl)
+		}
+		idleKernel(c)
+		return true
+	}
+	r.to.cur.workerBody(roleSlave)(c)
+	return true
+}
+
+// idleKernel parks a reclaimed tile between VMs: it discards stray
+// traffic and waits for the vmSwitch that re-absorbs it into its owner
+// slot's next epoch.
+func idleKernel(c *raw.TileCtx) {
+	for {
+		msg := c.Recv()
+		if _, ok := msg.Payload.(vmSwitch); ok {
+			c.Send(msg.From, switchAck{}, wordsCtl)
+			return
+		}
+	}
+}
+
+// donateSlot grows the running peer VMs by this idle slot's tiles:
+// every service tile except the exec and manager tiles is redirected,
+// round-robin, to a peer slot, where it self-registers as an extra
+// translation slave. The manager tile stays home so donated-in tiles
+// parked here keep a live service point, and the exec tile keeps
+// coordinating admission. Reports whether anything was donated (false
+// when no peer VM is running).
+func (fl *fleetRun) donateSlot(c *raw.TileCtx, h *slotHost, si int) bool {
+	var targets []int
+	for ti := range fl.hosts {
+		if ti == si || fl.hosts[ti].quarantined {
+			continue
+		}
+		if fl.phase[fl.hosts[ti].guest] == phaseRunning {
+			targets = append(targets, ti)
+		}
+	}
+	if len(targets) == 0 {
+		return false
+	}
+	pl := fl.slots[si]
+	var tiles []int
+	for _, t := range pl.tiles() {
+		if t != pl.exec && t != pl.manager {
+			tiles = append(tiles, t)
+		}
+	}
+	// Register every redirect before the first vmSwitch can wake a tile,
+	// so a woken tile always finds its routing in place.
+	for _, t := range tiles {
+		ti := targets[fl.rotor%len(targets)]
+		fl.rotor++
+		th := fl.hosts[ti]
+		fl.redirect[t] = &tileRedirect{to: th}
+		fl.elastic.donatedAt[t] = ti
+		th.extra = append(th.extra, t)
+		h.donated = append(h.donated, t)
+	}
+	fl.fleet.ElasticGrows++
+	fl.cfg.Tracer.Instant(pl.exec, "elastic_grow", c.Now(),
+		"slot", uint64(si), "tiles", uint64(len(tiles)))
+	// Quiesce the manager first (its in-flight translations come back
+	// before any slave departs), then cycle the donated tiles — plus any
+	// tiles previously donated *into* this slot — through vmSwitch so
+	// their wrappers re-read the redirect table.
+	c.Send(pl.manager, vmSwitch{}, wordsCtl)
+	waitSwitchAcks(c, 1)
+	sweep := append(append([]int{}, tiles...), h.extra...)
+	for _, t := range sweep {
+		c.Send(t, vmSwitch{}, wordsCtl)
+	}
+	waitSwitchAcks(c, len(sweep))
+	return true
+}
+
+// reclaimSlot shrinks the peers back: every tile this slot donated out
+// is marked for reclaim in the shared ledger, the holding managers are
+// nudged to release the ones they have parked, and the exec tile blocks
+// until each tile's reclaimDone arrives — from the holding manager, or
+// from the tile's own wrapper when it finds the idle redirect first.
+// Reports false when the slot was quarantined while waiting.
+func (fl *fleetRun) reclaimSlot(c *raw.TileCtx, h *slotHost, si int) bool {
+	pl := fl.slots[si]
+	want := 0
+	var mgrs []int
+	byMgr := map[int][]int{}
+	for _, t := range h.donated {
+		ti, ok := fl.elastic.donatedAt[t]
+		if !ok {
+			continue // already rescued by a quarantine
+		}
+		fl.redirect[t].idle = true
+		fl.elastic.reclaim[t] = pl.exec
+		want++
+		mgr := fl.slots[ti].manager
+		if _, seen := byMgr[mgr]; !seen {
+			mgrs = append(mgrs, mgr)
+		}
+		byMgr[mgr] = append(byMgr[mgr], t)
+	}
+	fl.fleet.ElasticShrinks++
+	fl.cfg.Tracer.Instant(pl.exec, "elastic_shrink", c.Now(),
+		"slot", uint64(si), "tiles", uint64(want))
+	for _, mgr := range mgrs {
+		c.Send(mgr, reclaim{Tiles: byMgr[mgr]}, wordsCtl)
+	}
+	for want > 0 {
+		if d, ok := c.Recv().Payload.(reclaimDone); ok {
+			delete(fl.elastic.donatedAt, d.Tile)
+			want--
+		}
+	}
+	for _, t := range h.donated {
+		delete(fl.redirect, t)
+		delete(fl.elastic.donatedAt, t)
+	}
+	h.donated = nil
+	return !h.quarantined
 }
 
 // shardSlots partitions the fleet for the parallel engine: slot si's
@@ -570,20 +833,44 @@ func (fl *fleetRun) noteFinished(gi int, e *engine) {
 // On a policy-free run the queue holds only release-0 entries and the
 // horizon is 0, so this degrades to the plain FIFO cursor — same
 // claims, same cycles, no extra events.
-func (fl *fleetRun) nextGuest(c *raw.TileCtx, h *slotHost) (int, bool) {
+//
+// In elastic mode an idle wait turns productive: the slot donates its
+// service tiles to the running peers (donateSlot) instead of sleeping
+// on them, and reclaims them (reclaimSlot) before admitting the next
+// guest. A retiring slot donates too — its tiles help the survivors
+// until the run ends.
+func (fl *fleetRun) nextGuest(c *raw.TileCtx, h *slotHost, si int) (int, bool) {
 	for {
 		if h.quarantined {
 			return 0, false
 		}
 		now := c.Now()
+		eligible := -1
 		for qi, pg := range fl.queue {
 			if pg.release <= now {
-				fl.queue = append(fl.queue[:qi], fl.queue[qi+1:]...)
-				return pg.gi, true
+				eligible = qi
+				break
 			}
 		}
+		if eligible >= 0 {
+			if len(h.donated) > 0 {
+				if !fl.reclaimSlot(c, h, si) {
+					return 0, false
+				}
+				continue
+			}
+			pg := fl.queue[eligible]
+			fl.queue = append(fl.queue[:eligible], fl.queue[eligible+1:]...)
+			return pg.gi, true
+		}
 		if len(fl.queue) == 0 && now > fl.horizon {
+			if fl.elastic != nil && len(h.donated) == 0 {
+				fl.donateSlot(c, h, si)
+			}
 			return 0, false
+		}
+		if fl.elastic != nil && len(h.donated) == 0 && fl.donateSlot(c, h, si) {
+			continue
 		}
 		next := now + 1
 		found := false
@@ -622,7 +909,7 @@ func (fl *fleetRun) admit(c *raw.TileCtx, h *slotHost, si, gi int) {
 		fl.restoreForRetry(c, h.cur, gi)
 	}
 	fl.admitted[gi] = c.Now()
-	fl.handoff(c, pl)
+	fl.handoff(c, h, pl)
 }
 
 // restoreForRetry rebases a re-admitted guest on its latest checkpoint
@@ -657,15 +944,20 @@ func (fl *fleetRun) restoreForRetry(c *raw.TileCtx, e *engine, gi int) {
 // reach the new epoch. Phase 2 resets the remaining service tiles —
 // workers flush their data banks (charged like a morph flush) and
 // slaves re-register with the new manager when their kernels restart.
-// The exec tile owns the handshake; it resumes dispatching only after
+// Tiles donated into this slot (elastic mode) are swept too: a
+// stranded one — dropped from a drained epoch's parked pool — either
+// re-registers with the new manager or, if its owner marked it for
+// reclaim meanwhile, commits the reclaim from its own wrapper. The
+// exec tile owns the handshake; it resumes dispatching only after
 // every service tile has acked.
-func (fl *fleetRun) handoff(c *raw.TileCtx, pl placement) {
+func (fl *fleetRun) handoff(c *raw.TileCtx, h *slotHost, pl placement) {
 	c.Send(pl.manager, vmSwitch{}, wordsCtl)
 	waitSwitchAcks(c, 1)
 	targets := []int{pl.mmu, pl.sys}
 	targets = append(targets, pl.l15...)
 	targets = append(targets, pl.slaves...)
 	targets = append(targets, pl.banks...)
+	targets = append(targets, h.extra...)
 	for _, t := range targets {
 		c.Send(t, vmSwitch{}, wordsCtl)
 	}

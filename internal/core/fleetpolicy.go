@@ -326,6 +326,37 @@ func (fl *fleetRun) quarantineSlot(si int, now uint64) {
 		qm.pendingHelp = map[int]int{}
 	}
 
+	if fl.elastic != nil {
+		// Donated-in tiles survive their target's death: commit any
+		// pending reclaim (forging the reclaimDone the dead slot can no
+		// longer generate), idle the rest, and wake them all so their
+		// wrappers route them out of the dead VM.
+		for _, t := range append([]int(nil), h.extra...) {
+			if owner, ok := fl.elastic.commit(t); ok {
+				fl.m.Inbox(owner).Send(pl.manager, reclaimDone{Tile: t}, now)
+			}
+			delete(fl.elastic.donatedAt, t)
+			if r := fl.redirect[t]; r != nil {
+				r.idle = true
+			}
+			fl.m.Inbox(t).Send(pl.manager, vmSwitch{}, now)
+		}
+		h.extra = nil
+		// Tiles this slot donated out die with it: pull them from their
+		// targets' rosters. They are already marked dead (pl.tiles()
+		// covers them), so park() refuses them and repairSlot re-queues
+		// any work stranded on them.
+		for _, t := range h.donated {
+			if ti, ok := fl.elastic.donatedAt[t]; ok {
+				fl.hosts[ti].removeExtra(t)
+			}
+			delete(fl.elastic.donatedAt, t)
+			delete(fl.elastic.reclaim, t)
+			delete(fl.redirect, t)
+		}
+		h.donated = nil
+	}
+
 	for sj := range fl.slots {
 		if sj == si || fl.slotQuarantined[sj] {
 			continue

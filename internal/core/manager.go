@@ -130,6 +130,15 @@ func (e *engine) managerKernel(c *raw.TileCtx) {
 	if e.restore != nil {
 		e.restoreManager(st)
 	}
+	if prev := e.mgr; prev != nil && e.elastic != nil && e.restore == nil {
+		// Same-engine re-entry: an elastic donation drained this manager
+		// while its slot idles between guests. Carry the retired epoch's
+		// L2 code cache, pipeline entries, and speculation ledger over so
+		// the collected stats are exactly what the drain left behind.
+		st.l2 = prev.l2
+		st.entries = prev.entries
+		st.specStored = prev.specStored
+	}
 	e.mgr = st
 
 	for {
@@ -184,6 +193,8 @@ func (e *engine) managerKernel(c *raw.TileCtx) {
 			// after a quarantine; re-run dispatch so re-queued work pairs
 			// with parked slaves.
 			st.dispatch()
+		case reclaim:
+			st.handleReclaim(m)
 		case helpReq:
 			st.handleHelp(m, msg.From)
 		case helpDeny:
@@ -441,6 +452,15 @@ func (st *managerState) drainForSwitch() {
 		}
 	}
 	for _, s := range st.parked {
+		if st.e.elastic != nil {
+			// Elastic mode: a parked foreign tile was donated in, never
+			// lent. Release it now if its owner already wants it back;
+			// otherwise just drop it — the next handoff's phase-2 sweep
+			// (which includes donated-in tiles) wakes it to re-register
+			// with the new epoch's manager.
+			st.releaseReclaimed(s)
+			continue
+		}
 		if home, ok := st.e.homeMgr[s]; ok && home != st.e.pl.manager {
 			st.c.Send(home, lendReturn{Slave: s}, wordsCtl)
 		}
@@ -470,7 +490,10 @@ func (st *managerState) drainForSwitch() {
 		case helpReq:
 			st.c.Send(msg.From, helpDeny{}, wordsCtl)
 		case workReq:
-			// Own slave reporting idle; it re-registers after restart.
+			// Own slave reporting idle; it re-registers after restart. A
+			// donated-in tile is released here if its owner wants it back
+			// (no-op outside elastic mode).
+			st.releaseReclaimed(msg.From)
 		}
 	}
 }
@@ -603,8 +626,55 @@ func (st *managerState) queuedLen() int {
 	return n
 }
 
+// releaseReclaimed checks the elastic reclaim ledger for tile and, when
+// its owner wants it back, commits the reclaim: the tile is vmSwitched
+// out of this VM (its wrapper finds the idle redirect and parks) and
+// the owner's exec tile gets the reclaimDone. Reports whether the tile
+// was released; false means no reclaim was pending (or another party
+// committed it first) and normal handling should proceed.
+func (st *managerState) releaseReclaimed(tile int) bool {
+	es := st.e.elastic
+	if es == nil {
+		return false
+	}
+	owner, ok := es.commit(tile)
+	if !ok {
+		return false
+	}
+	st.c.Send(tile, vmSwitch{}, wordsCtl)
+	st.c.Send(owner, reclaimDone{Tile: tile}, wordsCtl)
+	return true
+}
+
+// handleReclaim releases the listed donated tiles this manager holds
+// parked. A busy tile is left alone — its next workReq commits the
+// release — and an unknown tile's release happens through its own slot
+// wrapper at the next sweep.
+func (st *managerState) handleReclaim(m reclaim) {
+	wanted := map[int]bool{}
+	for _, t := range m.Tiles {
+		wanted[t] = true
+	}
+	kept := st.parked[:0]
+	var release []int
+	for _, s := range st.parked {
+		if wanted[s] {
+			release = append(release, s)
+		} else {
+			kept = append(kept, s)
+		}
+	}
+	st.parked = kept
+	for _, s := range release {
+		st.releaseReclaimed(s)
+	}
+}
+
 // handleWorkReq parks an idle slave or hands it work.
 func (st *managerState) handleWorkReq(slave int) {
+	if st.releaseReclaimed(slave) {
+		return
+	}
 	if st.roles[slave] != roleSlave {
 		return // reconfigured (or excised) while the request was in flight
 	}

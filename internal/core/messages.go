@@ -116,6 +116,25 @@ type helpDeny struct{}
 // parked slaves.
 type slotRepair struct{}
 
+// reclaim asks a manager to release the listed donated tiles back to
+// their owner slot (elastic fleet morphing). The manager immediately
+// releases the tiles it holds parked; a busy tile is released when its
+// next workReq arrives, and a tile the manager does not know is left
+// alone — its release then happens through the tile's own slot-wrapper
+// redirect check.
+type reclaim struct {
+	Tiles []int
+}
+
+// reclaimDone tells a donated tile's owner exec tile that the tile has
+// left the target VM and is idling, ready to be re-absorbed at the
+// owner's next admission handoff. Exactly one reclaimDone is generated
+// per reclaimed tile, by whichever party commits the shared reclaim
+// ledger entry first (elasticState.commit).
+type reclaimDone struct {
+	Tile int
+}
+
 // vmSwitch tells a slot's service tile to retire its current VM epoch
 // for a fleet slot handoff: the manager drains its in-flight
 // translations, workers flush their data banks, and every receiver

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"tilevm/internal/raw"
 )
@@ -26,6 +27,54 @@ const slotTiles = 8
 // maxFabricDim bounds carving so a hostile Width/Height cannot demand
 // an absurd allocation; real experiments use 4×4 through 16×16.
 const maxFabricDim = 256
+
+// NoFitError reports a carve that could not place every requested
+// slot. Beyond the headline counts it carries the smallest slot shape
+// the carver tried and the tile→slot occupancy map at the point the
+// scan gave up, so "why doesn't guest 7 fit on my 10×6?" is answerable
+// from the error text alone.
+type NoFitError struct {
+	Want   int // slots requested
+	Placed int // slots the carve managed to place
+	SlotW  int // smallest slot shape tried (canonical orientation)
+	SlotH  int
+	Width  int // fabric dimensions
+	Height int
+	// Occupied maps tile id → slot index (-1 for free tiles), row-major
+	// over the fabric, as of the failed carve.
+	Occupied []int
+}
+
+// occupancyGlyph renders one slot index for the error's fabric map.
+func occupancyGlyph(si int) byte {
+	const digits = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	switch {
+	case si < 0:
+		return '.'
+	case si < len(digits):
+		return digits[si]
+	default:
+		return '#'
+	}
+}
+
+func (e *NoFitError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "core: %d VM slots requested but the %d×%d fabric fits only %d (smallest shape tried %d×%d; occupancy, '.'=free):",
+		e.Want, e.Width, e.Height, e.Placed, e.SlotW, e.SlotH)
+	for y := 0; y < e.Height; y++ {
+		b.WriteString("\n  ")
+		for x := 0; x < e.Width; x++ {
+			i := y*e.Width + x
+			if i < len(e.Occupied) {
+				b.WriteByte(occupancyGlyph(e.Occupied[i]))
+			} else {
+				b.WriteByte('?')
+			}
+		}
+	}
+	return b.String()
+}
 
 // slotAt builds the placement for a slot anchored at (x0,y0).
 func slotAt(p raw.Params, x0, y0 int, horiz bool) placement {
@@ -61,24 +110,27 @@ func carveFabric(p raw.Params, want int) ([]placement, error) {
 	if p.Width > maxFabricDim || p.Height > maxFabricDim {
 		return nil, fmt.Errorf("core: %d×%d fabric exceeds the %d×%d carving limit", p.Width, p.Height, maxFabricDim, maxFabricDim)
 	}
-	used := make([]bool, p.Tiles())
+	occ := make([]int, p.Tiles())
+	for i := range occ {
+		occ[i] = -1
+	}
 	fits := func(x0, y0, w, h int) bool {
 		if x0+w > p.Width || y0+h > p.Height {
 			return false
 		}
 		for dy := 0; dy < h; dy++ {
 			for dx := 0; dx < w; dx++ {
-				if used[p.TileAt(x0+dx, y0+dy)] {
+				if occ[p.TileAt(x0+dx, y0+dy)] >= 0 {
 					return false
 				}
 			}
 		}
 		return true
 	}
-	claim := func(x0, y0, w, h int) {
+	claim := func(x0, y0, w, h, si int) {
 		for dy := 0; dy < h; dy++ {
 			for dx := 0; dx < w; dx++ {
-				used[p.TileAt(x0+dx, y0+dy)] = true
+				occ[p.TileAt(x0+dx, y0+dy)] = si
 			}
 		}
 	}
@@ -90,10 +142,10 @@ func carveFabric(p raw.Params, want int) ([]placement, error) {
 			}
 			switch {
 			case fits(x, y, 4, 2):
-				claim(x, y, 4, 2)
+				claim(x, y, 4, 2, len(slots))
 				slots = append(slots, slotAt(p, x, y, true))
 			case fits(x, y, 2, 4):
-				claim(x, y, 2, 4)
+				claim(x, y, 2, 4, len(slots))
 				slots = append(slots, slotAt(p, x, y, false))
 			}
 		}
@@ -102,8 +154,12 @@ func carveFabric(p raw.Params, want int) ([]placement, error) {
 		return nil, fmt.Errorf("core: %d×%d fabric fits no 4×2 or 2×4 VM slot", p.Width, p.Height)
 	}
 	if want > 0 && len(slots) < want {
-		return nil, fmt.Errorf("core: %d VM slots requested but the %d×%d fabric fits only %d",
-			want, p.Width, p.Height, len(slots))
+		return nil, &NoFitError{
+			Want: want, Placed: len(slots),
+			SlotW: 4, SlotH: 2,
+			Width: p.Width, Height: p.Height,
+			Occupied: occ,
+		}
 	}
 	return slots, nil
 }

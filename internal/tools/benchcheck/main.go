@@ -50,6 +50,9 @@ type baseline struct {
 		Jobs          int     `json:"jobs"`
 		SecondsPerJob float64 `json:"seconds_per_job"`
 	} `json:"service_throughput"`
+	PlacementSweep *struct {
+		Seconds float64 `json:"seconds"`
+	} `json:"placement_sweep"`
 	Warmup *struct {
 		Tier0Cycles uint64 `json:"tier0_cycles"`
 		OptCycles   uint64 `json:"opt_cycles"`
@@ -237,6 +240,36 @@ func main() {
 			fmt.Printf("%-28s %.2fx at %d workers on %d CPUs (floor waived below 4 CPUs)\n",
 				"parallel_sim speedup", fp.Speedup, fp.Workers, runtime.NumCPU())
 		}
+
+		// Placement sweep: every figure is virtual cycles, so unlike
+		// parallel_sim there is no speedup to waive — the determinism
+		// check and the planner-beats-fixed assertion hold exactly on
+		// any host, 1-CPU included; only the wall clock takes the
+		// generous time tolerance.
+		fmt.Fprintln(os.Stderr, "benchcheck: running placement sweep (planner vs fixed, oversubscribed fleets)...")
+		psw, err := bench.PlacementSweepBench(false)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(1)
+		}
+		if !psw.Identical {
+			fmt.Fprintln(os.Stderr, "benchcheck: placement_sweep: repeated runs DIVERGED — planner/elastic placement broke determinism")
+			os.Exit(1)
+		}
+		for _, g := range psw.Grids {
+			if !g.PlannerWins {
+				fmt.Fprintf(os.Stderr, "benchcheck: REGRESSION: placement_sweep: planner no longer strictly beats fixed shapes on %s (makespan %d vs %d, utilization %.4f vs %.4f)\n",
+					g.Grid, g.Planner.Makespan, g.Fixed.Makespan, g.Planner.Utilization, g.Fixed.Utilization)
+				os.Exit(1)
+			}
+			fmt.Printf("%-28s %s cap %d: makespan fixed %d → planner %d (deterministic)\n",
+				"placement_sweep", g.Grid, g.MaxSlots, g.Fixed.Makespan, g.Planner.Makespan)
+		}
+		var basePlacement float64
+		if base.PlacementSweep != nil {
+			basePlacement = base.PlacementSweep.Seconds
+		}
+		ms = append(ms, metric{"placement_sweep seconds", basePlacement, psw.Seconds, *timeTol})
 	}
 
 	if !*skipSuite {
